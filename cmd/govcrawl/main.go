@@ -1,0 +1,140 @@
+// Command govcrawl demonstrates the collection substrate end to end
+// over real sockets: it generates the synthetic estate, serves it over
+// HTTP, resolves hostnames through a live DNS server speaking RFC 1035
+// over UDP, crawls one country's government landing pages through an
+// in-country vantage point, and writes the resulting HAR archive as
+// JSON.
+//
+// Usage:
+//
+//	govcrawl -country UY -scale 0.05 -o crawl.har.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/dnswire"
+	"repro/internal/vantage"
+	"repro/internal/webserve"
+)
+
+func main() {
+	var (
+		country  = flag.String("country", "UY", "ISO code of the country to crawl")
+		scale    = flag.Float64("scale", 0.05, "estate scale")
+		seed     = flag.Int64("seed", 42, "study seed")
+		depth    = flag.Int("depth", 7, "crawl depth")
+		out      = flag.String("o", "", "output HAR JSON path (default stdout)")
+		dumpZone = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
+	)
+	flag.Parse()
+
+	env := core.NewEnv(core.Config{Seed: *seed, Scale: *scale})
+	c := env.World.Country(*country)
+	if c == nil || c.Landing == 0 {
+		fmt.Fprintf(os.Stderr, "govcrawl: no estate for country %q\n", *country)
+		os.Exit(1)
+	}
+
+	if *dumpZone != "" {
+		f, err := os.Create(*dumpZone)
+		if err != nil {
+			fatal(err)
+		}
+		if err := env.Zones.WriteZoneFile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "zone file written to %s\n", *dumpZone)
+	}
+
+	// Real HTTP server over the estate.
+	srv := &webserve.Server{Estate: env.Estate}
+	httpAddr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	// Real DNS server over the zones.
+	dns := &dnswire.Server{Handler: env.Zones.Handler()}
+	dnsAddr, err := dns.Start("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer dns.Close()
+	fmt.Fprintf(os.Stderr, "synthetic web on http://%s, DNS on %s\n", httpAddr, dnsAddr)
+
+	// Resolve one landing hostname over the wire as a sanity check.
+	landings := env.Estate.LandingURLs[c.Code]
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if len(landings) > 0 {
+		q := dnswire.NewQuery(1, hostOf(landings[0]), dnswire.TypeA)
+		resp, err := dnswire.Exchange(ctx, dnsAddr, q)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type == dnswire.TypeA {
+				fmt.Fprintf(os.Stderr, "DNS: %s -> %s\n", hostOf(landings[0]), rr.A)
+			}
+		}
+	}
+
+	fetcher := vantage.NewHTTPFetcher(httpAddr, c.Code)
+	cr := &crawler.Crawler{
+		Fetcher: fetcher,
+		Config: crawler.Config{
+			MaxDepth: *depth, Concurrency: 16,
+			Country: c.Code, VPN: c.VPN,
+		},
+	}
+	start := time.Now()
+	archive, err := cr.Crawl(ctx, landings)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crawled %d entries (%d hosts, %d bytes) in %v\n",
+		len(archive.Entries), len(archive.Hosts()), archive.TotalBytes(),
+		time.Since(start).Round(time.Millisecond))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := archive.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func hostOf(url string) string {
+	const prefix = "https://"
+	s := url
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		s = s[len(prefix):]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "govcrawl:", err)
+	os.Exit(1)
+}

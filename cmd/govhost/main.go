@@ -1,0 +1,120 @@
+// Command govhost runs the full government-hosting study and prints
+// paper-vs-measured reports for any of the paper's tables and figures.
+//
+// Usage:
+//
+//	govhost -scale 0.1 -exp fig2,fig9
+//	govhost -exp all
+//	govhost -countries US,MX,BR -exp fig2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	govhost "repro"
+)
+
+func main() {
+	var (
+		scale       = flag.Float64("scale", 0.1, "fraction of the paper's estate size to generate (1.0 ≈ 1M URLs)")
+		seed        = flag.Int64("seed", 42, "study seed; equal seeds give identical studies")
+		countries   = flag.String("countries", "", "comma-separated ISO codes to restrict the panel (default: all 61)")
+		exps        = flag.String("exp", "findings", "comma-separated experiment IDs, or 'all' / 'list'")
+		depth       = flag.Int("depth", 0, "crawl depth override (default: the paper's 7)")
+		concurrency = flag.Int("concurrency", 0, "parallel crawls (default: 8)")
+		trustIPInfo = flag.Bool("trust-ipinfo", false, "ablation: skip geolocation verification")
+		noSAN       = flag.Bool("no-san", false, "ablation: disable SAN-based URL classification")
+		noTopsites  = flag.Bool("no-topsites", false, "skip the Appendix D top-site baseline")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		dumpJSONL   = flag.String("dump-jsonl", "", "write the annotated dataset as JSON lines to this path")
+		dumpCSV     = flag.String("dump-csv", "", "write the annotated dataset as CSV to this path")
+		fromJSONL   = flag.String("from-jsonl", "", "re-analyse a saved dataset instead of running the pipeline")
+	)
+	flag.Parse()
+
+	if *exps == "list" {
+		for _, e := range govhost.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := govhost.Config{
+		Seed:         *seed,
+		Scale:        *scale,
+		CrawlDepth:   *depth,
+		Concurrency:  *concurrency,
+		TrustIPInfo:  *trustIPInfo,
+		DisableSAN:   *noSAN,
+		SkipTopsites: *noTopsites,
+	}
+	if *countries != "" {
+		cfg.Countries = strings.Split(strings.ToUpper(*countries), ",")
+	}
+
+	start := time.Now()
+	var study *govhost.Study
+	var err error
+	if *fromJSONL != "" {
+		f, ferr := os.Open(*fromJSONL)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "govhost:", ferr)
+			os.Exit(1)
+		}
+		study, err = govhost.Load(f)
+		f.Close()
+	} else {
+		study, err = govhost.Run(context.Background(), cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "govhost:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		st := study.Stats()
+		fmt.Fprintf(os.Stderr, "study complete in %v: %d URLs, %d hostnames, %d IPs, %d ASes\n",
+			time.Since(start).Round(time.Millisecond),
+			st.UniqueURLs, st.UniqueHostnames, st.UniqueIPs, st.ASes)
+	}
+
+	for _, dump := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{*dumpJSONL, study.ExportJSONL},
+		{*dumpCSV, study.ExportCSV},
+	} {
+		if dump.path == "" {
+			continue
+		}
+		f, err := os.Create(dump.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "govhost:", err)
+			os.Exit(1)
+		}
+		if err := dump.write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "govhost:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "dataset written to %s\n", dump.path)
+		}
+	}
+
+	if *exps == "all" {
+		fmt.Print(study.ReportAll())
+		return
+	}
+	for _, id := range strings.Split(*exps, ",") {
+		fmt.Print(study.Report(strings.TrimSpace(id)))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,91 @@
+// Centralization reproduces §7: which global providers serve how many
+// governments (Fig. 10), how concentrated each country's serving
+// infrastructure is (Fig. 11, Herfindahl–Hirschman Index), and the
+// diversification-vs-strategy finding: governments on their own
+// infrastructure depend on a single network far more often than
+// governments on global providers.
+//
+//	go run ./examples/centralization
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	govhost "repro"
+)
+
+func main() {
+	study, err := govhost.Run(context.Background(), govhost.Config{
+		Seed:  42,
+		Scale: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 10: provider footprints.
+	fmt.Println("global providers by number of governments served (Fig. 10):")
+	provs := study.GlobalProviders()
+	max := 1
+	if len(provs) > 0 {
+		max = provs[0].Countries
+	}
+	for i, p := range provs {
+		if i == 12 {
+			break
+		}
+		bar := strings.Repeat("#", p.Countries*30/max)
+		fmt.Printf("  %-28s AS%-7d %2d %s\n", p.Org, p.ASN, p.Countries, bar)
+	}
+	fmt.Println("  (paper: Cloudflare 49, Microsoft 31, Amazon 28)")
+
+	// Fig. 11: concentration by dominant strategy.
+	divs := study.Diversification()
+	type group struct {
+		n, single int
+		hhiSum    float64
+	}
+	groups := map[govhost.Category]*group{}
+	for _, d := range divs {
+		g := groups[d.Dominant]
+		if g == nil {
+			g = &group{}
+			groups[d.Dominant] = g
+		}
+		g.n++
+		g.hhiSum += d.HHIBytes
+		if d.TopNetShare > 0.5 {
+			g.single++
+		}
+	}
+	fmt.Println("\nprovider concentration by dominant byte source (Fig. 11 / §7.2):")
+	for _, cat := range []govhost.Category{govhost.GovtSOE, govhost.Local3P, govhost.Global3P} {
+		g := groups[cat]
+		if g == nil || g.n == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %2d countries, mean byte HHI %.2f, %4.0f%% rely on a single network\n",
+			cat, g.n, g.hhiSum/float64(g.n), 100*float64(g.single)/float64(g.n))
+	}
+	fmt.Println("  (paper: 63% of Govt&SOE countries vs 32% of 3P-Global countries")
+	fmt.Println("   serve over half their bytes from one network)")
+
+	// The most concentrated countries, for flavour.
+	fmt.Println("\nmost single-network-dependent countries:")
+	top := append([]govhost.Diversification(nil), divs...)
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].TopNetShare > top[i].TopNetShare {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	for i := 0; i < 8 && i < len(top); i++ {
+		d := top[i]
+		fmt.Printf("  %s: top network holds %4.1f%% of bytes (dominant source: %s)\n",
+			d.Country, 100*d.TopNetShare, d.Dominant)
+	}
+}

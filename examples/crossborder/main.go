@@ -1,0 +1,74 @@
+// Crossborder walks through §6 of the paper: where are government URLs
+// registered and served, which dependencies cross borders, how much
+// stays in-region (Table 5), and how well EU members comply with GDPR.
+//
+//	go run ./examples/crossborder
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	govhost "repro"
+)
+
+func main() {
+	// Cross-border structure needs the whole panel; run it at a
+	// moderate scale.
+	study, err := govhost.Run(context.Background(), govhost.Config{
+		Seed:  42,
+		Scale: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 8: regional domestic/international splits.
+	fmt.Println("regional shares of domestically served government URLs:")
+	regional := study.RegionalDomesticSplit()
+	regions := make([]string, 0, len(regional))
+	for r := range regional {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		return regional[regions[i]].GeoDomestic < regional[regions[j]].GeoDomestic
+	})
+	for _, r := range regions {
+		sp := regional[r]
+		fmt.Printf("  %-5s served domestically %5.1f%%, registered domestically %5.1f%%\n",
+			r, 100*sp.GeoDomestic, 100*sp.RegDomestic)
+	}
+
+	// Fig. 9: the largest cross-border location flows.
+	fmt.Println("\nlargest cross-border location dependencies:")
+	flows := study.CrossBorderFlows(govhost.ByLocation)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].URLs > flows[j].URLs })
+	for i, f := range flows {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %s -> %s: %5.1f%% of %s's URLs (%d URLs)\n",
+			f.Src, f.Dst, 100*f.Share, f.Src, f.URLs)
+	}
+
+	// Table 5: how much of the dependency stays in-region.
+	fmt.Println("\nshare of cross-border dependencies staying in-region (Table 5):")
+	inRegion := study.InRegionDependency()
+	for _, r := range []string{"ECA", "EAP", "NA", "LAC", "SSA", "MENA", "SA"} {
+		fmt.Printf("  %-5s %5.1f%%\n", r, 100*inRegion[r])
+	}
+
+	// §6.3 bilateral findings.
+	fmt.Println("\nbilateral relationships the paper highlights:")
+	for _, pair := range [][2]string{{"MX", "US"}, {"CN", "JP"}, {"NZ", "AU"}, {"MA", "FR"}, {"FR", "NC"}, {"BR", "US"}} {
+		fmt.Printf("  %s -> %s: %5.1f%%\n", pair[0], pair[1],
+			100*study.FlowShare(govhost.ByLocation, pair[0], pair[1]))
+	}
+
+	// GDPR compliance of EU-member government hosting.
+	frac, n := study.GDPRCompliance()
+	fmt.Printf("\nEU government URLs served inside the EU: %.1f%% of %d (paper: 98.3%%)\n",
+		100*frac, n)
+}

@@ -1,0 +1,55 @@
+// Quickstart: run a small government-hosting study end to end and
+// print the headline findings next to the paper's published numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	govhost "repro"
+)
+
+func main() {
+	start := time.Now()
+
+	// A study over eight countries spanning every strategy archetype,
+	// at 5 % of the paper's estate size. Everything is deterministic
+	// in the seed.
+	study, err := govhost.Run(context.Background(), govhost.Config{
+		Seed:      42,
+		Scale:     0.05,
+		Countries: []string{"US", "MX", "BR", "DE", "UY", "IN", "JP", "FR"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := study.Stats()
+	fmt.Printf("crawled %d URLs on %d hostnames, served by %d addresses on %d networks (%.1fs)\n\n",
+		st.UniqueURLs, st.UniqueHostnames, st.UniqueIPs, st.ASes, time.Since(start).Seconds())
+
+	// Fig. 2 for the subset: who serves government content?
+	shares := study.GlobalShares()
+	fmt.Println("hosting mix by URLs (subset):")
+	for _, cat := range []govhost.Category{govhost.GovtSOE, govhost.Local3P, govhost.Global3P, govhost.Region3P} {
+		fmt.Printf("  %-12s %5.1f%% of URLs, %5.1f%% of bytes\n",
+			cat, 100*shares.URLs[cat], 100*shares.Bytes[cat])
+	}
+
+	// Fig. 6: how much stays home?
+	split := study.DomesticSplit()
+	fmt.Printf("\nserved from domestic servers:        %5.1f%%  (paper: 87%%)\n", 100*split.GeoDomestic)
+	fmt.Printf("domestically registered organizations: %5.1f%%  (paper: 77%%)\n", 100*split.RegDomestic)
+
+	// One bilateral relationship the paper highlights.
+	fmt.Printf("\nMexico's URLs served from the US:    %5.1f%%  (paper: 79.2%%)\n",
+		100*study.FlowShare(govhost.ByLocation, "MX", "US"))
+
+	// The same thing as a ready-made paper-vs-measured report.
+	fmt.Println()
+	fmt.Print(study.Report("findings"))
+}

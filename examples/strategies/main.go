@@ -1,0 +1,71 @@
+// Strategies reproduces §5.3: each country's hosting signature is a
+// four-dimensional vector of category shares, and Ward-linkage
+// hierarchical clustering groups countries into three branches — one
+// per principal hosting source. The example prints the branches and
+// checks the paper's anecdotes (the Southern Cone splits three ways;
+// Brazil, Vietnam and Russia cluster together).
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	govhost "repro"
+)
+
+func main() {
+	study, err := govhost.Run(context.Background(), govhost.Config{
+		Seed:  42,
+		Scale: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, byBytes := range []bool{false, true} {
+		label := "URL"
+		if byBytes {
+			label = "byte"
+		}
+		branches, err := study.ClusterBranches(byBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("three-branch cut of the %s-signature dendrogram (Fig. 5):\n", label)
+		for i, br := range branches {
+			fmt.Printf("  branch %d (%2d countries): %s\n", i+1, len(br), strings.Join(br, " "))
+		}
+		fmt.Println()
+	}
+
+	// The Fig. 1 world map as two lists.
+	majority := study.MajorityThirdParty()
+	var third, gov []string
+	for code, tp := range majority {
+		if tp {
+			third = append(third, code)
+		} else {
+			gov = append(gov, code)
+		}
+	}
+	fmt.Printf("majority third-party (Fig. 1 brown): %d countries\n", len(third))
+	fmt.Printf("majority Govt&SOE    (Fig. 1 purple): %d countries\n", len(gov))
+
+	// §5.3's Southern Cone anecdote, straight from the signatures.
+	fmt.Println("\nthe Southern Cone splits three ways (§5.3):")
+	shares := study.CountryShares()
+	for _, code := range []string{"AR", "BR", "CL"} {
+		s := shares[code]
+		dom, val := govhost.GovtSOE, s.URLs[govhost.GovtSOE]
+		for _, cat := range []govhost.Category{govhost.Local3P, govhost.Global3P, govhost.Region3P} {
+			if s.URLs[cat] > val {
+				dom, val = cat, s.URLs[cat]
+			}
+		}
+		fmt.Printf("  %s leans on %-12s (%4.1f%% of URLs)\n", code, dom, 100*val)
+	}
+}

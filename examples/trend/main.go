@@ -1,0 +1,54 @@
+// Trend runs the longitudinal extension: the same world measured now
+// and after five years of the consolidation trend the paper's related
+// work documents (hosting shifting steadily onto global third-party
+// providers). Compare Kumar et al.'s observation that third-party
+// dependencies keep increasing year over year.
+//
+//	go run ./examples/trend
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	govhost "repro"
+)
+
+func main() {
+	base := govhost.Config{Seed: 42, Scale: 0.05, SkipTopsites: true}
+
+	now, err := govhost.Run(context.Background(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	later := base
+	later.TrendYears = 5
+	future, err := govhost.Run(context.Background(), later)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a, b := now.GlobalShares(), future.GlobalShares()
+	fmt.Println("global hosting mix, today vs +5 years of consolidation:")
+	for _, cat := range []govhost.Category{govhost.GovtSOE, govhost.Local3P, govhost.Global3P, govhost.Region3P} {
+		fmt.Printf("  %-12s URLs %5.1f%% -> %5.1f%%   bytes %5.1f%% -> %5.1f%%\n",
+			cat, 100*a.URLs[cat], 100*b.URLs[cat], 100*a.Bytes[cat], 100*b.Bytes[cat])
+	}
+
+	pa := now.GlobalProviders()
+	pb := future.GlobalProviders()
+	if len(pa) > 0 && len(pb) > 0 {
+		fmt.Printf("\nleading provider footprint: %d -> %d countries (%s)\n",
+			pa[0].Countries, pb[0].Countries, pb[0].Org)
+	}
+
+	da, db := now.DomesticSplit(), future.DomesticSplit()
+	fmt.Printf("domestically registered URLs: %5.1f%% -> %5.1f%%\n",
+		100*da.RegDomestic, 100*db.RegDomestic)
+	fmt.Println("\nas the related work predicts, consolidation pushes content onto")
+	fmt.Println("foreign-registered global platforms even while serving locations")
+	fmt.Println("stay largely domestic (anycast and in-country data centres).")
+	fmt.Printf("served domestically: %5.1f%% -> %5.1f%%\n",
+		100*da.GeoDomestic, 100*db.GeoDomestic)
+}

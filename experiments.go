@@ -1,0 +1,74 @@
+package govhost
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+)
+
+func clusterCut(root *cluster.Node, k int) [][]string { return cluster.Cut(root, k) }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	ID    string // e.g. "fig2", "table5"
+	Title string
+	Run   func(s *Study) string
+}
+
+// Experiments returns the registry of every reproducible table and
+// figure, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Fig. 1 — majority third-party vs Govt&SOE map", (*Study).reportFig1},
+		{"table1", "Table 1 / §4.2 — classification-method yields", (*Study).reportTable1},
+		{"table2", "Table 2 — serving-infrastructure record example", (*Study).reportTable2},
+		{"table3", "Table 3 — dataset statistics", (*Study).reportTable3},
+		{"table4", "Table 4 — geolocation validation", (*Study).reportTable4},
+		{"fig2", "Fig. 2 — global category shares", (*Study).reportFig2},
+		{"fig3", "Fig. 3 — governments vs top sites (categories)", (*Study).reportFig3},
+		{"fig4", "Fig. 4 — regional category shares", (*Study).reportFig4},
+		{"fig5", "Fig. 5 — country-strategy clustering", (*Study).reportFig5},
+		{"fig6", "Fig. 6 — domestic vs international", (*Study).reportFig6},
+		{"fig7", "Fig. 7 — governments vs top sites (domestic)", (*Study).reportFig7},
+		{"fig8", "Fig. 8 — regional domestic vs international", (*Study).reportFig8},
+		{"fig9", "Fig. 9 — cross-border dependencies", (*Study).reportFig9},
+		{"table5", "Table 5 — in-region cross-border share", (*Study).reportTable5},
+		{"table6", "Table 6 — government-vs-topsites country subset", (*Study).reportTable6},
+		{"fig10", "Fig. 10 — global-provider footprints", (*Study).reportFig10},
+		{"fig11", "Fig. 11 — HHI diversification", (*Study).reportFig11},
+		{"fig12", "Fig. 12 — explanatory OLS model", (*Study).reportFig12},
+		{"table7", "Table 7 — variance inflation factors", (*Study).reportTable7},
+		{"table8", "Table 8 — per-country dataset statistics", (*Study).reportTable8},
+		{"table9", "Table 9 — country panel", (*Study).reportTable9},
+		{"findings", "Key findings — headline numbers", (*Study).reportFindings},
+		{"ext-https", "Extension — HTTPS validity (Singanamalla et al.)", (*Study).reportExtHTTPS},
+		{"ext-weight", "Extension — page weight vs development (Habib et al.)", (*Study).reportExtWeight},
+	}
+}
+
+// Report renders one experiment by ID ("fig2", "table5", …), or a
+// per-country drill-down for IDs of the form "country:UY".
+func (s *Study) Report(id string) string {
+	if code, ok := strings.CutPrefix(id, "country:"); ok {
+		return report.Section("Country drill-down — "+strings.ToUpper(code),
+			s.CountryReport(strings.ToUpper(code)))
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return report.Section(e.Title, e.Run(s))
+		}
+	}
+	return fmt.Sprintf("unknown experiment %q\n", id)
+}
+
+// ReportAll renders every experiment.
+func (s *Study) ReportAll() string {
+	var b strings.Builder
+	for _, e := range Experiments() {
+		b.WriteString(report.Section(e.Title, e.Run(s)))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

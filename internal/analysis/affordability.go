@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// PageWeight is one country's landing-page weight statistics — the
+// Habib et al. affordability extension (§9: public service websites
+// in developing countries ship heavy pages that are expensive on
+// metered connections).
+type PageWeight struct {
+	Country     string
+	HDI         float64
+	MedianBytes float64 // median landing-page size
+	N           int
+}
+
+// AffordabilityResult bundles the per-country weights with the
+// correlation between development and page weight.
+type AffordabilityResult struct {
+	PerCountry []PageWeight
+	// PearsonHDI is the correlation between HDI and median landing
+	// size; Habib et al.'s finding predicts it is negative.
+	PearsonHDI  float64
+	SpearmanHDI float64
+}
+
+// Affordability computes landing-page weight per country (depth-0
+// records only, one value per landing URL).
+func Affordability(ds *dataset.Dataset, w *world.Model) AffordabilityResult {
+	sizes := map[string][]float64{}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if r.Depth != 0 {
+			continue
+		}
+		sizes[r.Country] = append(sizes[r.Country], float64(r.Bytes))
+	}
+	var res AffordabilityResult
+	var hdis, medians []float64
+	codes := make([]string, 0, len(sizes))
+	for c := range sizes {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		c := w.Country(code)
+		if c == nil || c.HDI == 0 {
+			continue
+		}
+		med := stats.Quantile(sizes[code], 0.5)
+		res.PerCountry = append(res.PerCountry, PageWeight{
+			Country: code, HDI: c.HDI, MedianBytes: med, N: len(sizes[code]),
+		})
+		hdis = append(hdis, c.HDI)
+		medians = append(medians, med)
+	}
+	res.PearsonHDI = stats.Pearson(hdis, medians)
+	res.SpearmanHDI = stats.Spearman(hdis, medians)
+	return res
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+// SignatureKind selects which Fig. 5 dendrogram to build.
+type SignatureKind int
+
+// The two Fig. 5 panels.
+const (
+	SignatureURLs SignatureKind = iota
+	SignatureBytes
+)
+
+// ClusterCountries builds the §5.3 dendrogram: every country becomes a
+// four-dimensional hosting signature (its category shares) and the
+// countries are clustered with Ward-linkage HCA.
+func ClusterCountries(ds *dataset.Dataset, kind SignatureKind) (*cluster.Node, error) {
+	shares := CountryShares(ds)
+	codes := make([]string, 0, len(shares))
+	for c := range shares {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	points := make([][]float64, 0, len(codes))
+	for _, c := range codes {
+		var sig world.Mix
+		if kind == SignatureURLs {
+			sig = shares[c].URLs
+		} else {
+			sig = shares[c].Bytes
+		}
+		points = append(points, []float64{
+			sig[world.CatGovtSOE], sig[world.Cat3PLocal],
+			sig[world.Cat3PGlobal], sig[world.Cat3PRegional],
+		})
+	}
+	return cluster.Ward(codes, points)
+}
+
+// BranchAssignment maps every country to the dominant category of the
+// three-branch cut of its dendrogram, validating the Fig. 5 reading
+// that each main branch corresponds to a principal hosting source.
+func BranchAssignment(ds *dataset.Dataset, kind SignatureKind) (map[string]world.Category, error) {
+	root, err := ClusterCountries(ds, kind)
+	if err != nil {
+		return nil, err
+	}
+	branches := cluster.Cut(root, 3)
+	shares := CountryShares(ds)
+	out := map[string]world.Category{}
+	for _, branch := range branches {
+		// The branch's identity is the category that dominates most of
+		// its members.
+		votes := map[world.Category]int{}
+		for _, c := range branch {
+			var sig world.Mix
+			if kind == SignatureURLs {
+				sig = shares[c].URLs
+			} else {
+				sig = shares[c].Bytes
+			}
+			votes[sig.Dominant()]++
+		}
+		var best world.Category
+		bestN := -1
+		for _, cat := range world.Categories {
+			if votes[cat] > bestN {
+				best, bestN = cat, votes[cat]
+			}
+		}
+		for _, c := range branch {
+			out[c] = best
+		}
+	}
+	return out, nil
+}

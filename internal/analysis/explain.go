@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// ExplanatoryResult bundles the Appendix E artefacts: the OLS fit of
+// Fig. 12 and the VIF table (Table 7).
+type ExplanatoryResult struct {
+	OLS       *stats.OLSResult
+	VIF       map[string]float64
+	Countries []string
+	Outcome   []float64 // standardized share of URLs served abroad
+}
+
+// featureNames follows Table 7's row order.
+var featureNames = []string{"internet_users", "HDI", "IDI", "NRI", "GDP", "econ_freedom"}
+
+// ExplainForeignHosting fits the Appendix E regression: the share of a
+// country's government URLs served from abroad against standardized
+// development covariates.
+func ExplainForeignHosting(ds *dataset.Dataset, w *world.Model) (*ExplanatoryResult, error) {
+	type row struct {
+		code    string
+		outcome float64
+		feats   [6]float64
+	}
+	perCountry := map[string]*[2]int{} // [abroad, total-with-location]
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if r.ServeCountry == "" {
+			continue
+		}
+		c := perCountry[r.Country]
+		if c == nil {
+			c = &[2]int{}
+			perCountry[r.Country] = c
+		}
+		c[1]++
+		if !r.Domestic() {
+			c[0]++
+		}
+	}
+	var rows []row
+	for code, c := range perCountry {
+		country := w.Country(code)
+		if country == nil || c[1] == 0 {
+			continue
+		}
+		// Internet users and GDP are standardized on a log scale: the
+		// synthetic panel reproduces only 61 countries, and on raw
+		// scale two population outliers would absorb the entire users
+		// axis (the paper's full-size panel is less degenerate).
+		rows = append(rows, row{
+			code:    code,
+			outcome: float64(c[0]) / float64(c[1]) * 100,
+			feats: [6]float64{
+				math.Log1p(country.UsersMillion), country.HDI, country.IDI,
+				country.NRI, math.Log(country.GDPpc), country.EFI,
+			},
+		})
+	}
+	if len(rows) < len(featureNames)+2 {
+		return nil, fmt.Errorf("analysis: only %d countries with outcomes; need more observations", len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].code < rows[j].code })
+
+	// Standardize every variable (Appendix E: mean 0, sd 1).
+	n := len(rows)
+	cols := make([][]float64, len(featureNames))
+	for j := range cols {
+		cols[j] = make([]float64, n)
+	}
+	y := make([]float64, n)
+	codes := make([]string, n)
+	for i, r := range rows {
+		codes[i] = r.code
+		y[i] = r.outcome
+		for j := range featureNames {
+			cols[j][i] = r.feats[j]
+		}
+	}
+	y = stats.Standardize(y)
+	X := stats.NewMatrix(n, len(featureNames))
+	for j := range cols {
+		std := stats.Standardize(cols[j])
+		for i := 0; i < n; i++ {
+			X.Set(i, j, std[i])
+		}
+	}
+
+	ols, err := stats.OLS(y, X, featureNames)
+	if err != nil {
+		return nil, err
+	}
+	vifs, err := stats.VIF(X)
+	if err != nil {
+		return nil, err
+	}
+	vifMap := map[string]float64{}
+	for j, name := range featureNames {
+		vifMap[name] = vifs[j]
+	}
+	return &ExplanatoryResult{OLS: ols, VIF: vifMap, Countries: codes, Outcome: y}, nil
+}

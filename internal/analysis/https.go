@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+// HTTPSAdoption summarises certificate validity across hostnames —
+// the extension reproducing Singanamalla et al.'s headline (over 70 %
+// of global government sites lack valid HTTPS) over this dataset.
+type HTTPSAdoption struct {
+	GlobalValid float64                  // share of government hostnames with valid HTTPS
+	ByRegion    map[world.Region]float64 // per-region valid share
+	ByCountry   map[string]float64
+	Hostnames   int
+}
+
+// HTTPSValidity computes per-hostname certificate-validity shares
+// (URL-level duplication would overweight big portals, so hostnames
+// are the unit, as in Singanamalla et al.).
+func HTTPSValidity(ds *dataset.Dataset) HTTPSAdoption {
+	type key struct{ host, country string }
+	valid := map[key]bool{}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		valid[key{r.Host, r.Country}] = r.HTTPSValid
+	}
+	out := HTTPSAdoption{
+		ByRegion:  map[world.Region]float64{},
+		ByCountry: map[string]float64{},
+	}
+	regionTotal := map[world.Region]int{}
+	regionValid := map[world.Region]int{}
+	countryTotal := map[string]int{}
+	countryValid := map[string]int{}
+	regionOf := map[string]world.Region{}
+	for i := range ds.Records {
+		regionOf[ds.Records[i].Country] = ds.Records[i].Region
+	}
+	nValid := 0
+	for k, v := range valid {
+		out.Hostnames++
+		countryTotal[k.country]++
+		reg := regionOf[k.country]
+		regionTotal[reg]++
+		if v {
+			nValid++
+			countryValid[k.country]++
+			regionValid[reg]++
+		}
+	}
+	if out.Hostnames > 0 {
+		out.GlobalValid = float64(nValid) / float64(out.Hostnames)
+	}
+	for reg, n := range regionTotal {
+		out.ByRegion[reg] = float64(regionValid[reg]) / float64(n)
+	}
+	for c, n := range countryTotal {
+		out.ByCountry[c] = float64(countryValid[c]) / float64(n)
+	}
+	return out
+}
+
+// TopValidityCountries returns country codes ranked by valid-HTTPS
+// share, descending (ties broken alphabetically).
+func (h HTTPSAdoption) TopValidityCountries(n int) []string {
+	codes := make([]string, 0, len(h.ByCountry))
+	for c := range h.ByCountry {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if h.ByCountry[codes[i]] != h.ByCountry[codes[j]] {
+			return h.ByCountry[codes[i]] > h.ByCountry[codes[j]]
+		}
+		return codes[i] < codes[j]
+	})
+	if n < len(codes) {
+		codes = codes[:n]
+	}
+	return codes
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+)
+
+// Comparison is the Figs. 3 and 7 result: government vs top-site
+// hosting for the Table 6 country subset. For the top-site half,
+// CatGovtSOE reads as "Self-Hosting" (Appendix D).
+type Comparison struct {
+	Gov      Shares
+	Topsites Shares
+
+	GovSplit SplitShares
+	TopSplit SplitShares
+}
+
+// CompareTopsites computes the comparison over the countries that have
+// top-site records, restricting the government side to the same
+// subset so both halves describe the same population.
+func CompareTopsites(ds *dataset.Dataset) Comparison {
+	subset := map[string]bool{}
+	for i := range ds.Topsites {
+		subset[ds.Topsites[i].Country] = true
+	}
+
+	var cmp Comparison
+	var govRecs, topRecs []*dataset.URLRecord
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if subset[r.Country] {
+			cmp.Gov.add(r)
+			govRecs = append(govRecs, r)
+		}
+	}
+	for i := range ds.Topsites {
+		r := &ds.Topsites[i]
+		cmp.Topsites.add(r)
+		topRecs = append(topRecs, r)
+	}
+	cmp.Gov.normalize()
+	cmp.Topsites.normalize()
+	cmp.GovSplit = splitOf(govRecs)
+	cmp.TopSplit = splitOf(topRecs)
+	return cmp
+}

@@ -1,0 +1,193 @@
+// Package cluster implements hierarchical agglomerative clustering
+// with Ward's minimum-variance linkage, as used in §5.3 to group
+// countries by their hosting-strategy signatures (Fig. 5). The
+// Lance–Williams recurrence updates inter-cluster distances, the
+// result is a dendrogram that can be cut into k branches, and leaves
+// are returned in dendrogram order for display.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node is a dendrogram node: either a leaf (Left == Right == nil) or a
+// merge of two sub-clusters at a given height.
+type Node struct {
+	Label       string // leaf label
+	Left, Right *Node
+	Height      float64 // merge distance (Ward criterion)
+	Size        int     // number of leaves underneath
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.Left == nil && n.Right == nil }
+
+// Leaves returns the labels under the node in dendrogram order.
+func (n *Node) Leaves() []string {
+	if n == nil {
+		return nil
+	}
+	if n.Leaf() {
+		return []string{n.Label}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// Ward clusters the rows of points (observations × features) labelled
+// by labels and returns the dendrogram root.
+func Ward(labels []string, points [][]float64) (*Node, error) {
+	if len(labels) != len(points) {
+		return nil, errors.New("cluster: labels/points length mismatch")
+	}
+	if len(labels) == 0 {
+		return nil, errors.New("cluster: empty input")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: row %d has %d features, want %d", i, len(p), dim)
+		}
+	}
+
+	type cl struct {
+		node *Node
+		size float64
+	}
+	active := make(map[int]*cl, len(labels))
+	for i, l := range labels {
+		active[i] = &cl{node: &Node{Label: l, Size: 1}, size: 1}
+	}
+
+	// Squared-Euclidean distance matrix; Ward initial distances are
+	// d²/2-ish but proportionality is all the dendrogram shape needs —
+	// we use the standard "d² between singletons" convention.
+	dist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			var d float64
+			for f := 0; f < dim; f++ {
+				diff := points[i][f] - points[j][f]
+				d += diff * diff
+			}
+			dist[key(i, j)] = d
+		}
+	}
+
+	next := len(labels)
+	for len(active) > 1 {
+		// Find the closest active pair, with deterministic tie-breaks.
+		ids := make([]int, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				d := dist[key(ids[x], ids[y])]
+				if d < best {
+					best, bi, bj = d, ids[x], ids[y]
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		merged := &cl{
+			node: &Node{
+				Left: a.node, Right: b.node,
+				Height: best,
+				Size:   a.node.Size + b.node.Size,
+			},
+			size: a.size + b.size,
+		}
+		delete(active, bi)
+		delete(active, bj)
+		// Lance–Williams update for Ward linkage.
+		for _, id := range ids {
+			if id == bi || id == bj {
+				continue
+			}
+			k := active[id]
+			dik := dist[key(bi, id)]
+			djk := dist[key(bj, id)]
+			dij := best
+			ai := (a.size + k.size) / (a.size + b.size + k.size)
+			aj := (b.size + k.size) / (a.size + b.size + k.size)
+			g := -k.size / (a.size + b.size + k.size)
+			dist[key(next, id)] = ai*dik + aj*djk + g*dij
+		}
+		active[next] = merged
+		next++
+	}
+	for _, c := range active {
+		return c.node, nil
+	}
+	return nil, errors.New("cluster: unreachable")
+}
+
+// Cut slices the dendrogram into k clusters by repeatedly splitting
+// the highest merge. Each returned cluster is its leaf-label set in
+// dendrogram order.
+func Cut(root *Node, k int) [][]string {
+	if root == nil || k < 1 {
+		return nil
+	}
+	nodes := []*Node{root}
+	for len(nodes) < k {
+		// Split the node with the greatest merge height.
+		idx := -1
+		best := -1.0
+		for i, n := range nodes {
+			if !n.Leaf() && n.Height > best {
+				best, idx = n.Height, i
+			}
+		}
+		if idx < 0 {
+			break // all leaves
+		}
+		n := nodes[idx]
+		nodes = append(nodes[:idx], nodes[idx+1:]...)
+		nodes = append(nodes, n.Left, n.Right)
+	}
+	// Order clusters by their first leaf's dendrogram position.
+	pos := map[string]int{}
+	for i, l := range root.Leaves() {
+		pos[l] = i
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return pos[nodes[i].Leaves()[0]] < pos[nodes[j].Leaves()[0]]
+	})
+	out := make([][]string, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.Leaves())
+	}
+	return out
+}
+
+// Render draws the dendrogram as indented ASCII, for reports.
+func Render(root *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.Leaf() {
+			fmt.Fprintf(&b, "%s- %s\n", indent, n.Label)
+			return
+		}
+		fmt.Fprintf(&b, "%s+ h=%.4f (%d leaves)\n", indent, n.Height, n.Size)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(root, 0)
+	return b.String()
+}

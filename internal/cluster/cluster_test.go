@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoBlobs() ([]string, [][]float64) {
+	labels := []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+	points := [][]float64{
+		{0.9, 0.1}, {0.85, 0.12}, {0.95, 0.08},
+		{0.1, 0.9}, {0.12, 0.88}, {0.08, 0.95},
+	}
+	return labels, points
+}
+
+func TestWardSeparatesObviousClusters(t *testing.T) {
+	labels, points := twoBlobs()
+	root, err := Ward(labels, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := Cut(root, 2)
+	if len(cut) != 2 {
+		t.Fatalf("cut into %d clusters, want 2", len(cut))
+	}
+	for _, cl := range cut {
+		prefix := cl[0][:1]
+		for _, l := range cl {
+			if l[:1] != prefix {
+				t.Fatalf("mixed cluster: %v", cl)
+			}
+		}
+	}
+}
+
+func TestWardLeavesPreserved(t *testing.T) {
+	labels, points := twoBlobs()
+	root, err := Ward(labels, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := root.Leaves()
+	sort.Strings(got)
+	want := append([]string(nil), labels...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("leaves = %v, want %v", got, want)
+	}
+	if root.Size != len(labels) {
+		t.Fatalf("root size = %d", root.Size)
+	}
+}
+
+func TestWardDeterministic(t *testing.T) {
+	labels, points := twoBlobs()
+	a, _ := Ward(labels, points)
+	b, _ := Ward(labels, points)
+	if !reflect.DeepEqual(a.Leaves(), b.Leaves()) {
+		t.Fatal("dendrogram order not deterministic")
+	}
+}
+
+func TestWardSingleLeaf(t *testing.T) {
+	root, err := Ward([]string{"only"}, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Leaf() || root.Label != "only" {
+		t.Fatalf("single-point dendrogram wrong: %+v", root)
+	}
+}
+
+func TestWardInputValidation(t *testing.T) {
+	if _, err := Ward([]string{"a"}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Ward(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Ward([]string{"a", "b"}, [][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestCutBeyondLeaves(t *testing.T) {
+	labels, points := twoBlobs()
+	root, _ := Ward(labels, points)
+	cut := Cut(root, 100)
+	if len(cut) != len(labels) {
+		t.Fatalf("cut with k>n gave %d clusters, want %d singletons", len(cut), len(labels))
+	}
+	if Cut(root, 0) != nil || Cut(nil, 3) != nil {
+		t.Fatal("degenerate cuts must return nil")
+	}
+	one := Cut(root, 1)
+	if len(one) != 1 || len(one[0]) != len(labels) {
+		t.Fatal("k=1 must return everything in one cluster")
+	}
+}
+
+func TestCutOrderFollowsDendrogram(t *testing.T) {
+	labels, points := twoBlobs()
+	root, _ := Ward(labels, points)
+	order := root.Leaves()
+	cut := Cut(root, 2)
+	// The first cluster's first leaf must be the dendrogram's first leaf.
+	if cut[0][0] != order[0] {
+		t.Fatalf("cut order %v does not follow dendrogram order %v", cut[0], order)
+	}
+}
+
+func TestThreeStrategiesThreeBranches(t *testing.T) {
+	// Mimics Fig. 5: three hosting archetypes plus noise.
+	labels := []string{"gov1", "gov2", "gov3", "loc1", "loc2", "glo1", "glo2", "glo3"}
+	points := [][]float64{
+		{0.8, 0.1, 0.1, 0}, {0.75, 0.15, 0.1, 0}, {0.9, 0.05, 0.05, 0},
+		{0.2, 0.7, 0.1, 0}, {0.15, 0.75, 0.1, 0},
+		{0.1, 0.1, 0.8, 0}, {0.05, 0.15, 0.8, 0}, {0.1, 0.2, 0.7, 0},
+	}
+	root, err := Ward(labels, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cl := range Cut(root, 3) {
+		kinds := map[string]bool{}
+		for _, l := range cl {
+			kinds[strings.TrimRight(l, "123")] = true
+		}
+		if len(kinds) != 1 {
+			t.Fatalf("branch %d mixes strategies: %v", i, cl)
+		}
+	}
+}
+
+func TestMergeHeightsGrowTowardsRoot(t *testing.T) {
+	labels, points := twoBlobs()
+	root, _ := Ward(labels, points)
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if n.Leaf() {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if n.Height < l || n.Height < r {
+			t.Fatalf("Ward heights not monotone: %v < child", n.Height)
+		}
+		return n.Height
+	}
+	walk(root)
+}
+
+func TestRenderContainsAllLeaves(t *testing.T) {
+	labels, points := twoBlobs()
+	root, _ := Ward(labels, points)
+	out := Render(root)
+	for _, l := range labels {
+		if !strings.Contains(out, l) {
+			t.Fatalf("render missing %s:\n%s", l, out)
+		}
+	}
+}
+
+// TestWardPropertiesQuick: for random point sets, the dendrogram
+// always preserves the leaf set and every cut is a partition.
+func TestWardPropertiesQuick(t *testing.T) {
+	f := func(seeds [6]uint16, kRaw uint8) bool {
+		labels := make([]string, len(seeds))
+		points := make([][]float64, len(seeds))
+		for i, s := range seeds {
+			labels[i] = string(rune('a' + i))
+			points[i] = []float64{float64(s % 97), float64(s % 31), float64(s % 7)}
+		}
+		root, err := Ward(labels, points)
+		if err != nil {
+			return false
+		}
+		if len(root.Leaves()) != len(labels) {
+			return false
+		}
+		k := int(kRaw%8) + 1
+		cut := Cut(root, k)
+		seen := map[string]int{}
+		for _, cl := range cut {
+			for _, l := range cl {
+				seen[l]++
+			}
+		}
+		if len(seen) != len(labels) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core orchestrates the full measurement study: it
+// materialises the synthetic environment (world, network, estate, DNS
+// zones, WHOIS, PeeringDB, IPInfo, MAnycast2), then runs the paper's
+// pipeline — vantage connection and validation, recursive crawling,
+// government-URL filtering, serving-infrastructure identification,
+// multistage geolocation — and produces the annotated dataset every
+// table and figure is computed from.
+package core
+
+import (
+	"repro/internal/dnssim"
+	"repro/internal/geo/ipinfo"
+	"repro/internal/geo/manycast"
+	"repro/internal/netsim"
+	"repro/internal/peeringdb"
+	"repro/internal/probing"
+	"repro/internal/rng"
+	"repro/internal/webgen"
+	"repro/internal/whois"
+	"repro/internal/world"
+)
+
+// Config parameterises a study run.
+type Config struct {
+	Seed  int64
+	Scale float64 // fraction of the paper's estate size (1.0 = full)
+
+	// Countries restricts the study to a subset of panel countries
+	// (ISO codes); nil means all 61.
+	Countries []string
+
+	// CrawlDepth overrides the §3.2 depth of 7 when positive.
+	CrawlDepth int
+	// Concurrency is the number of countries crawled in parallel and
+	// the per-crawl worker count; 0 picks a sensible default.
+	Concurrency int
+
+	// SkipTopsites disables the Appendix D baseline collection.
+	SkipTopsites bool
+
+	// IPInfoErrorRate is the fraction of unicast addresses the
+	// commercial geolocation database mislocates; defaults to 0.03.
+	IPInfoErrorRate float64
+	// ManycastRecall is the detection rate of the MAnycast2 snapshot;
+	// defaults to 0.97.
+	ManycastRecall float64
+
+	// TrustIPInfo skips the §3.5 verification stages and takes the
+	// commercial database at face value (ablation).
+	TrustIPInfo bool
+	// GlobalThresholdMS replaces per-country road-distance thresholds
+	// with one global value when positive (ablation).
+	GlobalThresholdMS float64
+	// DisableSAN drops the Table 1 SAN-matching step (ablation).
+	DisableSAN bool
+
+	// TrendYears evolves the world forward: each simulated year shifts
+	// hosting toward global third parties at the consolidation rate
+	// the related work measures (extension).
+	TrendYears int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.1
+	}
+	if c.IPInfoErrorRate == 0 {
+		c.IPInfoErrorRate = 0.03
+	}
+	if c.ManycastRecall == 0 {
+		c.ManycastRecall = 0.97
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	return c
+}
+
+// Env is the fully materialised synthetic environment.
+type Env struct {
+	Config   Config
+	World    *world.Model
+	Profiles map[string]*world.Profile
+	Net      *netsim.Net
+	Estate   *webgen.Estate
+	Zones    *dnssim.Zones
+	WhoisDB  *whois.DB
+	PDB      *peeringdb.Store
+	IPInfo   *ipinfo.DB
+	Manycast *manycast.Snapshot
+	Prober   *probing.Prober
+}
+
+// NewEnv builds the environment for a configuration.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	w := world.New()
+	profiles := world.BuildProfiles(w, cfg.Seed)
+	world.ApplyTrend(profiles, cfg.TrendYears)
+	net := netsim.Build(w, cfg.Seed)
+	estate := webgen.Build(w, net, profiles, cfg.Seed, cfg.Scale)
+	zones := dnssim.Build(estate, net)
+
+	env := &Env{
+		Config:   cfg,
+		World:    w,
+		Profiles: profiles,
+		Net:      net,
+		Estate:   estate,
+		Zones:    zones,
+		WhoisDB:  buildWhois(net),
+		PDB:      buildPeeringDB(net),
+		IPInfo:   buildIPInfo(w, net, cfg),
+		Manycast: buildManycast(net, cfg),
+	}
+	env.Prober = probing.New(net, w, zones, env.IPInfo, env.Manycast)
+	env.Prober.GlobalThresholdMS = cfg.GlobalThresholdMS
+	return env
+}
+
+// LoadedEnv wraps a bare world model for studies reconstructed from a
+// saved dataset: analyses and reports only consult the world, not the
+// synthetic network or estate.
+func LoadedEnv(w *world.Model) *Env {
+	return &Env{World: w}
+}
+
+// buildWhois derives the public registry from the allocation table.
+func buildWhois(n *netsim.Net) *whois.DB {
+	db := whois.NewDB()
+	for _, ap := range n.AllocatedPrefixes() {
+		db.Add(whois.Record{
+			Prefix:     ap.Prefix,
+			NetName:    ap.AS.Name,
+			ASN:        ap.AS.ASN,
+			Org:        ap.AS.Org,
+			Country:    ap.AS.RegCountry,
+			Email:      ap.AS.ContactEmail,
+			PeeringURL: ap.AS.Website,
+		})
+	}
+	db.Sort()
+	return db
+}
+
+// buildPeeringDB snapshots the networks that maintain PeeringDB
+// records.
+func buildPeeringDB(n *netsim.Net) *peeringdb.Store {
+	s := peeringdb.NewStore()
+	for _, as := range n.ASList {
+		if !as.PeeringDB {
+			continue
+		}
+		s.Add(peeringdb.Record{
+			ASN: as.ASN, Name: as.Name, Org: as.Org,
+			Website: as.Website, Note: as.PeeringNote,
+		})
+	}
+	return s
+}
+
+// buildIPInfo derives the commercial geolocation database: unicast
+// addresses are correct except for a configurable error rate; anycast
+// addresses are pinned to the operator's home country, the classic
+// commercial-database failure mode.
+func buildIPInfo(w *world.Model, n *netsim.Net, cfg Config) *ipinfo.DB {
+	db := ipinfo.New()
+	r := rng.New(cfg.Seed, "ipinfo-errors")
+	codes := w.SortedCodes()
+	for _, h := range n.HostList {
+		var e ipinfo.Entry
+		e.Org = h.AS.Org
+		if h.Anycast {
+			e.Country = h.Provider.Home
+		} else {
+			e.Country = h.Country
+			if r.Float64() < cfg.IPInfoErrorRate {
+				e.Country = codes[r.Intn(len(codes))]
+			}
+		}
+		db.Put(h.Addr, e)
+	}
+	return db
+}
+
+// buildManycast snapshots anycast detection with the configured
+// recall.
+func buildManycast(n *netsim.Net, cfg Config) *manycast.Snapshot {
+	s := manycast.New()
+	r := rng.New(cfg.Seed, "manycast")
+	for _, h := range n.HostList {
+		if h.Anycast && r.Float64() < cfg.ManycastRecall {
+			s.Mark(h.Addr)
+		}
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+	"repro/internal/govclass"
+	"repro/internal/har"
+	"repro/internal/probing"
+	"repro/internal/vantage"
+	"repro/internal/webgen"
+	"repro/internal/whois"
+	"repro/internal/world"
+)
+
+// Run executes the full study and returns the annotated dataset.
+func Run(ctx context.Context, cfg Config) (*dataset.Dataset, error) {
+	env := NewEnv(cfg)
+	return env.Run(ctx)
+}
+
+// Run executes the pipeline against an already-built environment.
+func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
+	cfg := env.Config
+	countries := env.studyCountries()
+
+	ds := &dataset.Dataset{
+		PerCountry: make(map[string]*dataset.CountryStats),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+	}
+
+	type countryResult struct {
+		stats   *dataset.CountryStats
+		records []dataset.URLRecord
+		methods map[govclass.URLMethod]int
+		err     error
+	}
+
+	results := make([]countryResult, len(countries))
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i, c := range countries {
+		wg.Add(1)
+		go func(i int, c *world.Country) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			recs, stats, methods, err := env.runCountry(ctx, c)
+			results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, res.err)
+		}
+		ds.Records = append(ds.Records, res.records...)
+		ds.PerCountry[countries[i].Code] = res.stats
+		ds.MethodTLD += res.methods[govclass.MethodTLD]
+		ds.MethodDomain += res.methods[govclass.MethodDomain]
+		ds.MethodSAN += res.methods[govclass.MethodSAN]
+		ds.Discarded += res.methods[govclass.MethodDiscarded]
+	}
+
+	if !cfg.SkipTopsites {
+		if err := env.runTopsites(ctx, ds); err != nil {
+			return nil, err
+		}
+	}
+
+	assignCategories(env, ds)
+	fillTotals(env, ds)
+	return ds, nil
+}
+
+// studyCountries resolves the configured country subset.
+func (env *Env) studyCountries() []*world.Country {
+	var out []*world.Country
+	if len(env.Config.Countries) == 0 {
+		for _, c := range env.World.Panel() {
+			if c.Landing > 0 {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	for _, code := range env.Config.Countries {
+		c := env.World.MustCountry(code)
+		if c.Landing > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runCountry performs the §3 pipeline for one country.
+func (env *Env) runCountry(ctx context.Context, c *world.Country) ([]dataset.URLRecord, *dataset.CountryStats, map[govclass.URLMethod]int, error) {
+	cfg := env.Config
+
+	// §3.2: connect through an in-country VPN vantage and validate its
+	// claimed location before trusting it.
+	vp := vantage.Connect(c, env.Estate, env.Net, cfg.Seed)
+	if err := vp.ValidateLocation(env.Net); err != nil {
+		return nil, nil, nil, fmt.Errorf("vantage validation: %w", err)
+	}
+
+	landings := env.Estate.LandingURLs[c.Code]
+	cr := &crawler.Crawler{
+		Fetcher: vp.Fetcher,
+		Config: crawler.Config{
+			MaxDepth:    cfg.CrawlDepth,
+			Concurrency: cfg.Concurrency,
+			Country:     c.Code,
+			VPN:         vp.VPN,
+		},
+	}
+	archive, err := cr.Crawl(ctx, landings)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// §3.3: identify internal government URLs.
+	classifier := env.urlClassifier(c)
+	methods := make(map[govclass.URLMethod]int)
+	landingSet := make(map[string]bool, len(landings))
+	for _, l := range landings {
+		landingSet[l] = true
+	}
+
+	var records []dataset.URLRecord
+	hostSeen := map[string]bool{}
+	resCache := map[string]resolved{}
+	for _, entry := range archive.Entries {
+		if entry.Status != 200 {
+			continue
+		}
+		method := classifier.Classify(entry.Host)
+		internal := !landingSet[entry.URL]
+		if internal {
+			methods[method]++
+		}
+		if method == govclass.MethodDiscarded {
+			continue
+		}
+		rec, err := env.annotate(c, entry, resCache)
+		if err != nil {
+			continue // unresolvable hostnames drop out, as in any crawl
+		}
+		rec.Method = string(method)
+		records = append(records, rec)
+		hostSeen[entry.Host] = true
+	}
+
+	stats := &dataset.CountryStats{
+		Country:      c.Code,
+		Region:       c.Region,
+		LandingURLs:  len(landings),
+		InternalURLs: methods[govclass.MethodTLD] + methods[govclass.MethodDomain] + methods[govclass.MethodSAN],
+		Hostnames:    len(hostSeen),
+	}
+	return records, stats, methods, nil
+}
+
+// resolved caches per-hostname annotation lookups within one country.
+type resolved struct {
+	ip  netip.Addr
+	rec whois.Record
+}
+
+// annotate resolves one crawled URL to its serving infrastructure
+// (Table 2) and validated location.
+func (env *Env) annotate(c *world.Country, entry har.Entry, cache map[string]resolved) (dataset.URLRecord, error) {
+	rec := dataset.URLRecord{
+		URL:     entry.URL,
+		Host:    entry.Host,
+		Country: c.Code,
+		Region:  c.Region,
+		Bytes:   entry.BodySize,
+		Depth:   entry.Depth,
+	}
+
+	rv, ok := cache[entry.Host]
+	if !ok {
+		res, err := env.Zones.Resolve(entry.Host)
+		if err != nil {
+			return rec, err
+		}
+		wrec, found := env.WhoisDB.Lookup(res.Addr)
+		if !found {
+			return rec, fmt.Errorf("no WHOIS record for %v", res.Addr)
+		}
+		rv = resolved{ip: res.Addr, rec: wrec}
+		cache[entry.Host] = rv
+	}
+	rec.IP = rv.ip
+	rec.ASN = rv.rec.ASN
+	rec.Org = rv.rec.Org
+	rec.RegCountry = rv.rec.Country
+	if site := env.Estate.Site(entry.Host); site != nil {
+		rec.HTTPSValid = site.HTTPSValid
+	}
+
+	// §3.5: geolocate and validate.
+	if env.Manycast.IsAnycast(rec.IP) {
+		rec.Anycast = true
+		v := env.geolocateAnycast(c, rec.IP)
+		rec.ServeCountry, rec.GeoMethod = v.Country, string(v.Method)
+	} else {
+		v := env.geolocateUnicast(rec.IP)
+		rec.ServeCountry, rec.GeoMethod = v.Country, string(v.Method)
+	}
+	return rec, nil
+}
+
+func (env *Env) geolocateAnycast(c *world.Country, ip netip.Addr) probing.Verdict {
+	if env.Config.TrustIPInfo {
+		return env.trustIPInfoVerdict(ip, true)
+	}
+	return env.Prober.GeolocateAnycast(c, ip)
+}
+
+func (env *Env) geolocateUnicast(ip netip.Addr) probing.Verdict {
+	if env.Config.TrustIPInfo {
+		return env.trustIPInfoVerdict(ip, false)
+	}
+	return env.Prober.GeolocateUnicast(ip)
+}
+
+func (env *Env) trustIPInfoVerdict(ip netip.Addr, anycast bool) probing.Verdict {
+	v := probing.Verdict{Addr: ip, Anycast: anycast, Method: "IPINFO"}
+	if e, ok := env.IPInfo.Lookup(ip); ok {
+		v.Country = e.Country
+	}
+	return v
+}
+
+// urlClassifier builds the §3.3 classifier for one country.
+func (env *Env) urlClassifier(c *world.Country) *govclass.URLClassifier {
+	landingHosts := make(map[string]bool)
+	for _, l := range env.Estate.LandingURLs[c.Code] {
+		landingHosts[har.HostOf(l)] = true
+	}
+	sanHosts := map[string]string{}
+	if !env.Config.DisableSAN {
+		for _, s := range env.Estate.GovSites(c.Code) {
+			if s.Cert == nil {
+				continue
+			}
+			for _, san := range s.Cert.SANs {
+				sanHosts[san] = s.Cert.Subject
+			}
+		}
+	}
+	return &govclass.URLClassifier{
+		LandingHosts: landingHosts,
+		SANHosts:     sanHosts,
+		VerifySAN: func(host string) bool {
+			// The manual-verification oracle: a SAN hostname survives
+			// only when it genuinely belongs to the government estate.
+			site := env.Estate.Site(host)
+			return site != nil && site.Kind != webgen.KindContractor && site.Kind != webgen.KindTopsite
+		},
+	}
+}
+
+// sortRecords orders records deterministically (by country, then URL).
+func sortRecords(recs []dataset.URLRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Country != recs[j].Country {
+			return recs[i].Country < recs[j].Country
+		}
+		return recs[i].URL < recs[j].URL
+	})
+}

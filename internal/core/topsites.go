@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+	"repro/internal/topsites"
+	"repro/internal/vantage"
+	"repro/internal/webgen"
+)
+
+// runTopsites collects the Appendix D baseline: for the 14 comparison
+// countries (Table 6) it crawls each popular site one level beyond the
+// landing page, identifies self-hosting via the CNAME/SAN heuristic,
+// and annotates serving infrastructure exactly like the government
+// pipeline.
+func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset) error {
+	subset := env.topsiteCountrySet()
+	for _, code := range webgen.ComparisonCountries {
+		if !subset[code] {
+			continue
+		}
+		c := env.World.MustCountry(code)
+		sites := env.Estate.Topsites[code]
+		if len(sites) == 0 {
+			continue
+		}
+		vp := vantage.Connect(c, env.Estate, env.Net, env.Config.Seed)
+
+		var landings []string
+		for _, s := range sites {
+			landings = append(landings, s.Landing...)
+		}
+		cr := &crawler.Crawler{
+			Fetcher: vp.Fetcher,
+			Config: crawler.Config{
+				MaxDepth:    1, // §5.1: top-site scraping stops one level down
+				Concurrency: env.Config.Concurrency,
+				Country:     code,
+				VPN:         vp.VPN,
+			},
+		}
+		archive, err := cr.Crawl(ctx, landings)
+		if err != nil {
+			return fmt.Errorf("core: topsites %s: %w", code, err)
+		}
+
+		resCache := map[string]resolved{}
+		for _, entry := range archive.Entries {
+			if entry.Status != 200 {
+				continue
+			}
+			site := env.Estate.Site(entry.Host)
+			if site == nil || site.Kind != webgen.KindTopsite {
+				continue
+			}
+			rec, err := env.annotate(c, entry, resCache)
+			if err != nil {
+				continue
+			}
+			cname, _ := env.Zones.CNAMEOf(entry.Host)
+			var sans []string
+			if cert := env.Estate.Certs.Get(entry.Host); cert != nil {
+				sans = cert.SANs
+			}
+			rec.TopsiteSelf = topsites.SelfHosted(entry.Host, cname, sans)
+			ds.Topsites = append(ds.Topsites, rec)
+		}
+	}
+	return nil
+}
+
+// topsiteCountrySet intersects the comparison subset with the
+// configured country restriction.
+func (env *Env) topsiteCountrySet() map[string]bool {
+	set := map[string]bool{}
+	if len(env.Config.Countries) == 0 {
+		for _, code := range webgen.ComparisonCountries {
+			set[code] = true
+		}
+		return set
+	}
+	configured := map[string]bool{}
+	for _, code := range env.Config.Countries {
+		configured[code] = true
+	}
+	for _, code := range webgen.ComparisonCountries {
+		if configured[code] {
+			set[code] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,211 @@
+// Package crawler implements the §3.2 collection step: starting from a
+// country's landing URLs it recursively fetches pages up to seven
+// levels deep (a threshold informed by Singanamalla et al.), captures
+// every resource into a HAR archive, and follows links across
+// hostnames — the §3.3 filter decides later which of those are
+// government resources.
+package crawler
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/fetch"
+	"repro/internal/har"
+)
+
+// DefaultMaxDepth is the paper's crawl depth.
+const DefaultMaxDepth = 7
+
+// Config controls one crawl.
+type Config struct {
+	MaxDepth    int // 0 means DefaultMaxDepth
+	Concurrency int // parallel fetches; 0 means 8
+	MaxURLs     int // safety cap on distinct URLs; 0 means unlimited
+	Country     string
+	VPN         string
+}
+
+// Crawler drives recursive crawls through a Fetcher.
+type Crawler struct {
+	Fetcher fetch.Fetcher
+	Config  Config
+}
+
+// task is one URL scheduled for fetching.
+type task struct {
+	url     string
+	depth   int
+	landing string
+}
+
+// workList is an unbounded breadth-ish work queue: workers block on a
+// condition variable and exit when no task is queued, none is in
+// flight, or the crawl is cancelled.
+type workList struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tasks    []task
+	inflight int
+	cancel   bool
+}
+
+func newWorkList() *workList {
+	w := &workList{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *workList) push(t task) {
+	w.mu.Lock()
+	w.tasks = append(w.tasks, t)
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// pop blocks until a task is available or the crawl is finished; the
+// second result is false when the worker should exit.
+func (w *workList) pop() (task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.cancel {
+			return task{}, false
+		}
+		if len(w.tasks) > 0 {
+			t := w.tasks[0]
+			w.tasks = w.tasks[1:]
+			w.inflight++
+			return t, true
+		}
+		if w.inflight == 0 {
+			w.cond.Broadcast()
+			return task{}, false
+		}
+		w.cond.Wait()
+	}
+}
+
+func (w *workList) done() {
+	w.mu.Lock()
+	w.inflight--
+	if w.inflight == 0 && len(w.tasks) == 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *workList) stop() {
+	w.mu.Lock()
+	w.cancel = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Crawl fetches the landing URLs and everything reachable from them
+// within the configured depth. Fetch errors (unknown hosts, network
+// failures) are recorded as status-0 entries and do not abort the
+// crawl, mirroring how a measurement harness tolerates partial
+// failures.
+func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, error) {
+	maxDepth := c.Config.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	workers := c.Config.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+
+	archive := har.New()
+	var archiveMu sync.Mutex
+
+	var seenMu sync.Mutex
+	seen := make(map[string]bool)
+
+	wl := newWorkList()
+	enqueue := func(t task) {
+		seenMu.Lock()
+		if seen[t.url] || (c.Config.MaxURLs > 0 && len(seen) >= c.Config.MaxURLs) {
+			seenMu.Unlock()
+			return
+		}
+		seen[t.url] = true
+		seenMu.Unlock()
+		wl.push(t)
+	}
+
+	for _, l := range landings {
+		enqueue(task{url: l, depth: 0, landing: l})
+	}
+
+	// Cancellation watcher.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			wl.stop()
+		case <-stopWatch:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := wl.pop()
+				if !ok {
+					return
+				}
+				c.process(ctx, t, maxDepth, archive, &archiveMu, enqueue)
+				wl.done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopWatch)
+	return archive, ctx.Err()
+}
+
+func (c *Crawler) process(ctx context.Context, t task, maxDepth int, archive *har.Archive, mu *sync.Mutex, enqueue func(task)) {
+	resp, err := c.Fetcher.Fetch(ctx, t.url)
+	entry := har.Entry{
+		URL:     t.url,
+		Host:    har.HostOf(t.url),
+		Depth:   t.depth,
+		Landing: t.landing,
+		Country: c.Config.Country,
+		FromVPN: c.Config.VPN,
+	}
+	if err != nil {
+		mu.Lock()
+		archive.Add(entry) // status 0: unreachable
+		mu.Unlock()
+		return
+	}
+	entry.Status = resp.Status
+	entry.ContentType = resp.ContentType
+	entry.BodySize = resp.BodySize
+	if entry.BodySize == 0 {
+		entry.BodySize = int64(len(resp.Body))
+	}
+	mu.Lock()
+	archive.Add(entry)
+	mu.Unlock()
+
+	if resp.Status != 200 || t.depth >= maxDepth || !isHTML(resp.ContentType) {
+		return
+	}
+	for _, link := range ExtractLinks(t.url, resp.Body) {
+		enqueue(task{url: link, depth: t.depth + 1, landing: t.landing})
+	}
+}
+
+func isHTML(ct string) bool {
+	if ct == "application/xhtml+xml" {
+		return true
+	}
+	return len(ct) >= 9 && ct[:9] == "text/html"
+}

@@ -1,0 +1,219 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fetch"
+)
+
+// fakeSite is a Fetcher serving a synthetic page graph: page /p{d}-{i}
+// links to two pages at depth d+1.
+type fakeSite struct {
+	maxDepth int
+	fanout   int
+	fetches  atomic.Int64
+	fail     map[string]bool
+	slow     time.Duration
+}
+
+func (f *fakeSite) Fetch(ctx context.Context, url string) (*fetch.Response, error) {
+	f.fetches.Add(1)
+	if f.slow > 0 {
+		select {
+		case <-time.After(f.slow):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.fail[url] {
+		return nil, errors.New("connection refused")
+	}
+	var d, i int
+	if _, err := fmt.Sscanf(url, "https://site.test/p%d-%d", &d, &i); err != nil {
+		return nil, fmt.Errorf("no such page %q", url)
+	}
+	var body strings.Builder
+	if d < f.maxDepth {
+		for k := 0; k < f.fanout; k++ {
+			fmt.Fprintf(&body, `<a href="/p%d-%d">x</a>`, d+1, i*f.fanout+k)
+		}
+	}
+	return &fetch.Response{Status: 200, ContentType: "text/html", Body: []byte(body.String())}, nil
+}
+
+func TestCrawlVisitsWholeTree(t *testing.T) {
+	site := &fakeSite{maxDepth: 3, fanout: 2}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 7, Concurrency: 4, Country: "XX"}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depths 0..3 with fanout 2: 1 + 2 + 4 + 8 = 15 URLs.
+	if got := len(archive.Entries); got != 15 {
+		t.Fatalf("entries = %d, want 15", got)
+	}
+	for _, e := range archive.Entries {
+		if e.Country != "XX" {
+			t.Fatalf("country not propagated: %+v", e)
+		}
+	}
+}
+
+func TestCrawlHonoursDepthLimit(t *testing.T) {
+	site := &fakeSite{maxDepth: 10, fanout: 1}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 3, Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 0,1,2,3 → 4 entries; nothing deeper.
+	if got := len(archive.Entries); got != 4 {
+		t.Fatalf("entries = %d, want 4 (depth limit 3)", got)
+	}
+	for _, e := range archive.Entries {
+		if e.Depth > 3 {
+			t.Fatalf("entry beyond depth limit: %+v", e)
+		}
+	}
+}
+
+func TestCrawlDefaultDepthIsSeven(t *testing.T) {
+	site := &fakeSite{maxDepth: 12, fanout: 1}
+	c := &Crawler{Fetcher: site, Config: Config{Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(archive.Entries); got != 8 {
+		t.Fatalf("entries = %d, want 8 (the paper's seven levels below the landing page)", got)
+	}
+}
+
+func TestCrawlDeduplicatesURLs(t *testing.T) {
+	// All pages link to the same child.
+	site := &fakeSite{maxDepth: 2, fanout: 3}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 7, Concurrency: 4}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0", "https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, e := range archive.Entries {
+		seen[e.URL]++
+	}
+	for url, n := range seen {
+		if n > 1 {
+			t.Fatalf("URL %s fetched %d times", url, n)
+		}
+	}
+}
+
+func TestCrawlRecordsFailuresAndContinues(t *testing.T) {
+	site := &fakeSite{maxDepth: 2, fanout: 2,
+		fail: map[string]bool{"https://site.test/p1-0": true}}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 7, Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int
+	for _, e := range archive.Entries {
+		if e.Status == 0 {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed entries = %d, want 1", failed)
+	}
+	// The healthy subtree must still be crawled: p1-1 and children.
+	if len(archive.Entries) < 4 {
+		t.Fatalf("crawl gave up after a failure: %d entries", len(archive.Entries))
+	}
+}
+
+func TestCrawlMaxURLsCap(t *testing.T) {
+	site := &fakeSite{maxDepth: 8, fanout: 3}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 8, Concurrency: 4, MaxURLs: 20}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(archive.Entries) > 20 {
+		t.Fatalf("cap ignored: %d entries", len(archive.Entries))
+	}
+}
+
+func TestCrawlCancellation(t *testing.T) {
+	site := &fakeSite{maxDepth: 10, fanout: 3, slow: 5 * time.Millisecond}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 10, Concurrency: 2}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Crawl(ctx, []string{"https://site.test/p0-0"})
+	if err == nil {
+		t.Fatal("cancelled crawl must report its context error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not stop the crawl promptly")
+	}
+}
+
+func TestCrawlEmptyLandingList(t *testing.T) {
+	c := &Crawler{Fetcher: &fakeSite{}, Config: Config{}}
+	archive, err := c.Crawl(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(archive.Entries) != 0 {
+		t.Fatal("no landings must yield an empty archive")
+	}
+}
+
+func TestCrawlNonHTMLNotParsed(t *testing.T) {
+	// A fetcher that serves a CSS body containing something link-like;
+	// the crawler must not follow into non-HTML content.
+	f := fetchFunc(func(ctx context.Context, url string) (*fetch.Response, error) {
+		if strings.HasSuffix(url, ".css") {
+			return &fetch.Response{Status: 200, ContentType: "text/css",
+				Body: []byte(`a { background: url("/should-not-follow.png") } href="/nor-this"`)}, nil
+		}
+		return &fetch.Response{Status: 200, ContentType: "text/html",
+			Body: []byte(`<link rel="stylesheet" href="/style.css">`)}, nil
+	})
+	c := &Crawler{Fetcher: f, Config: Config{MaxDepth: 7, Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(archive.Entries); got != 2 {
+		t.Fatalf("entries = %d, want 2 (landing + css, nothing from inside the css)", got)
+	}
+}
+
+type fetchFunc func(ctx context.Context, url string) (*fetch.Response, error)
+
+func (f fetchFunc) Fetch(ctx context.Context, url string) (*fetch.Response, error) {
+	return f(ctx, url)
+}
+
+func TestCrawlConcurrencyStress(t *testing.T) {
+	site := &fakeSite{maxDepth: 6, fanout: 3}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 6, Concurrency: 32}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for d, n := 0, 1; d <= 6; d, n = d+1, n*3 {
+		want += n
+	}
+	if len(archive.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(archive.Entries), want)
+	}
+}

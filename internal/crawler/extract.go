@@ -1,0 +1,79 @@
+package crawler
+
+import (
+	"net/url"
+	"strings"
+)
+
+// ExtractLinks scans an HTML document for href/src attribute values
+// and resolves them against the base URL. It is a small, permissive
+// scanner rather than a full HTML parser: it understands quoted
+// attributes, skips fragments, javascript: and mailto: pseudo-links,
+// and deduplicates while preserving first-seen order — all the crawler
+// needs from Selenium-captured pages.
+func ExtractLinks(base string, body []byte) []string {
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	s := string(body)
+	for i := 0; i < len(s); {
+		// Find the next href= or src= attribute.
+		hi := strings.Index(s[i:], "href=")
+		si := strings.Index(s[i:], "src=")
+		var at, skip int
+		switch {
+		case hi < 0 && si < 0:
+			return out
+		case si < 0 || (hi >= 0 && hi < si):
+			at, skip = i+hi, 5
+		default:
+			at, skip = i+si, 4
+		}
+		i = at + skip
+		if i >= len(s) {
+			return out
+		}
+		quote := s[i]
+		if quote != '"' && quote != '\'' {
+			continue
+		}
+		end := strings.IndexByte(s[i+1:], quote)
+		if end < 0 {
+			return out
+		}
+		raw := s[i+1 : i+1+end]
+		i += end + 2
+		link := cleanLink(baseURL, raw)
+		if link != "" && !seen[link] {
+			seen[link] = true
+			out = append(out, link)
+		}
+	}
+	return out
+}
+
+func cleanLink(base *url.URL, raw string) string {
+	raw = strings.TrimSpace(raw)
+	if raw == "" || strings.HasPrefix(raw, "#") {
+		return ""
+	}
+	lower := strings.ToLower(raw)
+	for _, scheme := range []string{"javascript:", "mailto:", "tel:", "data:"} {
+		if strings.HasPrefix(lower, scheme) {
+			return ""
+		}
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	resolved := base.ResolveReference(u)
+	if resolved.Scheme != "http" && resolved.Scheme != "https" {
+		return ""
+	}
+	resolved.Fragment = ""
+	return resolved.String()
+}

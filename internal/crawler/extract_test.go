@@ -1,0 +1,88 @@
+package crawler
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractLinksBasics(t *testing.T) {
+	body := []byte(`<!doctype html><html><head>
+<link rel="stylesheet" href="/static/a.css">
+</head><body>
+<a href="https://other.gov/page">x</a>
+<a href='/l1/page-0'>rel</a>
+<script src="/static/app.js"></script>
+<img src="img/logo.png">
+</body></html>`)
+	got := ExtractLinks("https://finance.gov.br/l0/index", body)
+	want := []string{
+		"https://finance.gov.br/static/a.css",
+		"https://other.gov/page",
+		"https://finance.gov.br/l1/page-0",
+		"https://finance.gov.br/static/app.js",
+		"https://finance.gov.br/l0/img/logo.png",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractLinks:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestExtractLinksSkipsPseudoSchemes(t *testing.T) {
+	body := []byte(`<a href="javascript:void(0)">j</a>
+<a href="mailto:x@y.z">m</a>
+<a href="tel:+1234">t</a>
+<a href="#frag">f</a>
+<a href="data:text/plain,hi">d</a>
+<a href="ftp://files.example/x">ftp</a>
+<a href="/ok">ok</a>`)
+	got := ExtractLinks("https://gov.example/", body)
+	if len(got) != 1 || got[0] != "https://gov.example/ok" {
+		t.Fatalf("got %v, want only /ok", got)
+	}
+}
+
+func TestExtractLinksDeduplicates(t *testing.T) {
+	body := []byte(`<a href="/x">1</a><a href="/x">2</a><img src="/x">`)
+	got := ExtractLinks("https://gov.example/", body)
+	if len(got) != 1 {
+		t.Fatalf("dedupe failed: %v", got)
+	}
+}
+
+func TestExtractLinksStripsFragments(t *testing.T) {
+	body := []byte(`<a href="/page#section">x</a>`)
+	got := ExtractLinks("https://gov.example/", body)
+	if len(got) != 1 || got[0] != "https://gov.example/page" {
+		t.Fatalf("fragment kept: %v", got)
+	}
+}
+
+func TestExtractLinksToleratesMalformedHTML(t *testing.T) {
+	cases := [][]byte{
+		[]byte(`<a href=`),
+		[]byte(`<a href="unterminated`),
+		[]byte(`href=x not quoted`),
+		[]byte(``),
+		[]byte(`<a href="">empty</a>`),
+		[]byte(`<a href="http://[::1:bad">bad url</a>`),
+	}
+	for i, body := range cases {
+		got := ExtractLinks("https://gov.example/", body)
+		if len(got) != 0 {
+			t.Errorf("case %d: got %v, want none", i, got)
+		}
+	}
+}
+
+func TestExtractLinksBadBase(t *testing.T) {
+	if got := ExtractLinks("://broken", []byte(`<a href="/x">x</a>`)); got != nil {
+		t.Fatalf("bad base must yield nil, got %v", got)
+	}
+}
+
+func TestExtractLinksProtocolRelative(t *testing.T) {
+	got := ExtractLinks("https://gov.example/", []byte(`<img src="//cdn.example.com/a.png">`))
+	if len(got) != 1 || got[0] != "https://cdn.example.com/a.png" {
+		t.Fatalf("protocol-relative resolution failed: %v", got)
+	}
+}

@@ -1,0 +1,57 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestExtractLinksNeverPanicsQuick feeds arbitrary bytes through the
+// extractor: whatever the input, it must return cleanly and only emit
+// http(s) URLs.
+func TestExtractLinksNeverPanicsQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		links := ExtractLinks("https://base.example/dir/", raw)
+		for _, l := range links {
+			if !strings.HasPrefix(l, "http://") && !strings.HasPrefix(l, "https://") {
+				return false
+			}
+			if strings.Contains(l, "#") {
+				return false // fragments must be stripped
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractLinksIdempotentQuick: extracting from a document built
+// out of the extracted links yields the same set.
+func TestExtractLinksIdempotentQuick(t *testing.T) {
+	f := func(paths [4]uint16) bool {
+		var b strings.Builder
+		for _, p := range paths {
+			b.WriteString(`<a href="/p` + strings.Repeat("x", int(p%7)+1) + `">l</a>`)
+		}
+		first := ExtractLinks("https://h.example/", []byte(b.String()))
+		var again strings.Builder
+		for _, l := range first {
+			again.WriteString(`<a href="` + l + `">l</a>`)
+		}
+		second := ExtractLinks("https://h.example/", []byte(again.String()))
+		if len(first) != len(second) {
+			return false
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package dataset defines the record types the measurement pipeline
+// produces and the analysis consumes: one annotated record per
+// government URL (Table 2's fields), plus dataset-level statistics
+// (Table 3, Table 8).
+package dataset
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/world"
+)
+
+// URLRecord is one fully annotated government URL.
+type URLRecord struct {
+	URL     string
+	Host    string
+	Country string // the government the URL belongs to
+	Region  world.Region
+	Bytes   int64
+	Depth   int
+
+	Method string // Table 1 classification method: tld / domain / san
+
+	// Serving infrastructure (§3.4).
+	IP         netip.Addr
+	ASN        int
+	Org        string
+	RegCountry string // WHOIS country of registration
+	GovAS      bool   // classified as government/SOE network
+
+	// Geolocation (§3.5).
+	Anycast      bool
+	ServeCountry string // validated server country; "" when excluded
+	GeoMethod    string // AP / MG / UR / EX
+
+	// Category is the provider category assigned by the analysis. For
+	// top-site records, CatGovtSOE stands for "Self-Hosting"
+	// (Appendix D redefines the first category for popular sites).
+	Category world.Category
+
+	// TopsiteSelf marks top-site records the Appendix D CNAME/SAN
+	// heuristic identified as self-hosted.
+	TopsiteSelf bool
+
+	// HTTPSValid reports whether the site's certificate would pass
+	// browser validation (extension: Singanamalla et al., §9).
+	HTTPSValid bool
+}
+
+// Domestic reports whether the URL is served from inside its own
+// country (false when geolocation failed).
+func (r *URLRecord) Domestic() bool {
+	return r.ServeCountry != "" && r.ServeCountry == r.Country
+}
+
+// RegDomestic reports whether the serving organization is registered
+// in the URL's country.
+func (r *URLRecord) RegDomestic() bool {
+	return r.RegCountry != "" && r.RegCountry == r.Country
+}
+
+// CountryStats is the per-country slice of Table 8.
+type CountryStats struct {
+	Country      string
+	Region       world.Region
+	LandingURLs  int
+	InternalURLs int
+	Hostnames    int
+}
+
+// Dataset is the complete study output.
+type Dataset struct {
+	Records  []URLRecord // government URLs (post-filter)
+	Topsites []URLRecord // Appendix D baseline records (14 countries)
+
+	PerCountry map[string]*CountryStats
+
+	// Totals (Table 3).
+	TotalLanding    int
+	TotalInternal   int
+	TotalUniqueURLs int
+	TotalHostnames  int
+	ASes            int
+	GovASes         int
+	UniqueIPs       int
+	AnycastIPs      int
+	ServerCountries int
+
+	// Method yields (Table 1 discussion in §4.2).
+	MethodTLD, MethodDomain, MethodSAN int
+	Discarded                          int
+
+	Scale float64
+	Seed  int64
+}
+
+// CountriesWithRecords returns the sorted country codes present in the
+// government records.
+func (d *Dataset) CountriesWithRecords() []string {
+	set := map[string]bool{}
+	for i := range d.Records {
+		set[d.Records[i].Country] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByCountry groups record indexes per country.
+func (d *Dataset) ByCountry() map[string][]*URLRecord {
+	out := make(map[string][]*URLRecord)
+	for i := range d.Records {
+		r := &d.Records[i]
+		out[r.Country] = append(out[r.Country], r)
+	}
+	return out
+}
+
+// TotalBytes sums the byte volume of the government records.
+func (d *Dataset) TotalBytes() int64 {
+	var total int64
+	for i := range d.Records {
+		total += d.Records[i].Bytes
+	}
+	return total
+}

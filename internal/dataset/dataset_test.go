@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/world"
+)
+
+func TestRecordPredicates(t *testing.T) {
+	r := URLRecord{Country: "UY", RegCountry: "UY", ServeCountry: "UY"}
+	if !r.Domestic() || !r.RegDomestic() {
+		t.Fatal("domestic record misclassified")
+	}
+	r.ServeCountry = "US"
+	if r.Domestic() {
+		t.Fatal("foreign-served record called domestic")
+	}
+	r.ServeCountry = ""
+	if r.Domestic() {
+		t.Fatal("unresolved geolocation must not count as domestic")
+	}
+	r.RegCountry = ""
+	if r.RegDomestic() {
+		t.Fatal("missing registration must not count as domestic")
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	ds := &Dataset{}
+	ds.Records = append(ds.Records,
+		URLRecord{URL: "https://a.uy/1", Country: "UY", Bytes: 10, Region: world.LAC},
+		URLRecord{URL: "https://a.uy/2", Country: "UY", Bytes: 20, Region: world.LAC},
+		URLRecord{URL: "https://b.de/1", Country: "DE", Bytes: 5, Region: world.ECA},
+	)
+	if got := ds.TotalBytes(); got != 35 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	codes := ds.CountriesWithRecords()
+	if len(codes) != 2 || codes[0] != "DE" || codes[1] != "UY" {
+		t.Fatalf("CountriesWithRecords = %v", codes)
+	}
+	by := ds.ByCountry()
+	if len(by["UY"]) != 2 || len(by["DE"]) != 1 {
+		t.Fatalf("ByCountry = %v", by)
+	}
+	// ByCountry returns pointers into Records, not copies.
+	by["UY"][0].Bytes = 99
+	if ds.Records[0].Bytes != 99 {
+		t.Fatal("ByCountry must alias the records")
+	}
+}

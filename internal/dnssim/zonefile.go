@@ -1,0 +1,104 @@
+package dnssim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteZoneFile serializes the authoritative data in RFC 1035 §5
+// master-file format: one record per line, fully-qualified names,
+// explicit TTLs. CNAMEs come first so the file reads like the
+// resolution order; PTR records are emitted under in-addr.arpa.
+func (z *Zones) WriteZoneFile(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; govhost synthetic authoritative zone (%d A, %d CNAME, %d PTR)\n",
+		len(z.a), len(z.cname), len(z.ptr))
+
+	cnames := make([]string, 0, len(z.cname))
+	for name := range z.cname {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		fmt.Fprintf(bw, "%s. 300 IN CNAME %s.\n", name, z.cname[name])
+	}
+
+	arecords := make([]string, 0, len(z.a))
+	for name := range z.a {
+		arecords = append(arecords, name)
+	}
+	sort.Strings(arecords)
+	for _, name := range arecords {
+		fmt.Fprintf(bw, "%s. 60 IN A %s\n", name, z.a[name])
+	}
+
+	ptrs := make([]netip.Addr, 0, len(z.ptr))
+	for addr := range z.ptr {
+		ptrs = append(ptrs, addr)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].Less(ptrs[j]) })
+	for _, addr := range ptrs {
+		fmt.Fprintf(bw, "%s 300 IN PTR %s.\n", reverseName(addr), z.ptr[addr])
+	}
+	return bw.Flush()
+}
+
+// ParseZoneFile reads a master file written by WriteZoneFile (or any
+// subset of the "name TTL IN TYPE rdata" line format with A, CNAME and
+// PTR records) into a fresh Zones database usable for resolution.
+func ParseZoneFile(r io.Reader) (*Zones, error) {
+	z := &Zones{
+		cname: make(map[string]string),
+		a:     make(map[string]netip.Addr),
+		ptr:   make(map[netip.Addr]string),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("dnssim: zone line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		name := strings.TrimSuffix(strings.ToLower(fields[0]), ".")
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("dnssim: zone line %d: bad TTL %q", lineNo, fields[1])
+		}
+		if fields[2] != "IN" {
+			return nil, fmt.Errorf("dnssim: zone line %d: class %q unsupported", lineNo, fields[2])
+		}
+		rdata := fields[4]
+		switch fields[3] {
+		case "A":
+			addr, err := netip.ParseAddr(rdata)
+			if err != nil {
+				return nil, fmt.Errorf("dnssim: zone line %d: %v", lineNo, err)
+			}
+			z.a[name] = addr
+		case "CNAME":
+			z.cname[name] = strings.TrimSuffix(strings.ToLower(rdata), ".")
+		case "PTR":
+			addr, ok := parseReverse(name)
+			if !ok {
+				return nil, fmt.Errorf("dnssim: zone line %d: PTR owner %q is not in-addr.arpa", lineNo, name)
+			}
+			z.ptr[addr] = strings.TrimSuffix(rdata, ".")
+		default:
+			return nil, fmt.Errorf("dnssim: zone line %d: type %q unsupported", lineNo, fields[3])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return z, nil
+}

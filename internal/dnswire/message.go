@@ -1,0 +1,171 @@
+// Package dnswire implements the subset of the DNS wire protocol
+// (RFC 1035) the study needs: message encoding and decoding with name
+// compression, and small UDP/TCP servers and clients. The simulated
+// authoritative zones are served and queried through this package so
+// that hostname resolution in the pipeline exercises a real network
+// code path.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Supported RR types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0
+	RCodeFormat   RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormat:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// Header is the fixed 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is one entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. Exactly one of the data fields is
+// meaningful depending on Type.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	A      netip.Addr // TypeA / TypeAAAA
+	Target string     // TypeCNAME / TypeNS / TypePTR
+	TXT    []string   // TypeTXT
+	SOA    *SOAData   // TypeSOA
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Errors returned by the codec.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrBadPointer       = errors.New("dnswire: bad compression pointer")
+	ErrNameTooLong      = errors.New("dnswire: name too long")
+	ErrBadLabel         = errors.New("dnswire: bad label")
+)
+
+// CanonicalName lower-cases and ensures a single trailing dot, the
+// canonical form used as map keys throughout the resolver.
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	return name + "."
+}
+
+// NewQuery builds a standard recursive query for one question.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton for a query.
+func (m *Message) Reply() *Message {
+	r := &Message{Header: m.Header}
+	r.Header.Response = true
+	r.Header.Authoritative = true
+	r.Header.RecursionAvailable = true
+	r.Questions = append([]Question(nil), m.Questions...)
+	return r
+}

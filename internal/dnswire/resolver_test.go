@@ -1,0 +1,191 @@
+package dnswire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingHandler serves a static zone and counts queries per name.
+type countingHandler struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (h *countingHandler) ServeDNS(q *Message, _ net.Addr) *Message {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = map[string]int{}
+	}
+	h.counts[q.Questions[0].Name]++
+	h.mu.Unlock()
+
+	resp := q.Reply()
+	switch q.Questions[0].Name {
+	case "direct.test.":
+		resp.Answers = append(resp.Answers, RR{
+			Name: "direct.test.", Type: TypeA, Class: ClassIN, TTL: 60,
+			A: netip.MustParseAddr("192.0.2.1"),
+		})
+	case "alias.test.":
+		resp.Answers = append(resp.Answers,
+			RR{Name: "alias.test.", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "canon.test."},
+			RR{Name: "canon.test.", Type: TypeA, Class: ClassIN, TTL: 30, A: netip.MustParseAddr("192.0.2.2")},
+		)
+	case "broken.test.":
+		resp.Header.RCode = RCodeServFail
+	default:
+		resp.Header.RCode = RCodeNXDomain
+	}
+	return resp
+}
+
+func (h *countingHandler) count(name string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts[name]
+}
+
+func startResolver(t *testing.T) (*Resolver, *countingHandler) {
+	t.Helper()
+	h := &countingHandler{}
+	srv := &Server{Handler: h}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return NewResolver(addr), h
+}
+
+func TestResolverDirectLookup(t *testing.T) {
+	r, _ := startResolver(t)
+	res, err := r.LookupA(context.Background(), "direct.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addr != netip.MustParseAddr("192.0.2.1") || len(res.Chain) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestResolverFollowsCNAME(t *testing.T) {
+	r, _ := startResolver(t)
+	res, err := r.LookupA(context.Background(), "alias.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addr != netip.MustParseAddr("192.0.2.2") {
+		t.Fatalf("addr = %v", res.Addr)
+	}
+	if len(res.Chain) != 1 || res.Chain[0] != "canon.test." {
+		t.Fatalf("chain = %v", res.Chain)
+	}
+	// TTL must be the minimum across the chain (30 s, not 300 s).
+	if res.TTL != 30*time.Second {
+		t.Fatalf("TTL = %v, want 30s", res.TTL)
+	}
+}
+
+func TestResolverCachesPositiveAnswers(t *testing.T) {
+	r, h := startResolver(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := r.LookupA(ctx, "direct.test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.count("direct.test."); got != 1 {
+		t.Fatalf("upstream queried %d times, want 1 (cache)", got)
+	}
+	st := r.Stats()
+	if st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResolverCacheExpiry(t *testing.T) {
+	r, h := startResolver(t)
+	fake := time.Now()
+	r.now = func() time.Time { return fake }
+	ctx := context.Background()
+	if _, err := r.LookupA(ctx, "direct.test"); err != nil {
+		t.Fatal(err)
+	}
+	fake = fake.Add(61 * time.Second) // past the 60 s record TTL
+	if _, err := r.LookupA(ctx, "direct.test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.count("direct.test."); got != 2 {
+		t.Fatalf("upstream queried %d times, want 2 after expiry", got)
+	}
+}
+
+func TestResolverNegativeCaching(t *testing.T) {
+	r, h := startResolver(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_, err := r.LookupA(ctx, "missing.test")
+		var nx *NXDomainError
+		if !errors.As(err, &nx) || nx.Name != "missing.test." {
+			t.Fatalf("want NXDomainError, got %v", err)
+		}
+	}
+	if got := h.count("missing.test."); got != 1 {
+		t.Fatalf("NXDOMAIN queried %d times, want 1 (negative cache)", got)
+	}
+}
+
+func TestResolverDoesNotCacheServFail(t *testing.T) {
+	r, h := startResolver(t)
+	r.Retries = 0
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.LookupA(ctx, "broken.test"); err == nil {
+			t.Fatal("SERVFAIL must surface as an error")
+		}
+	}
+	if got := h.count("broken.test."); got < 2 {
+		t.Fatalf("transient failure cached: %d upstream queries", got)
+	}
+}
+
+func TestResolverCoalescesConcurrentQueries(t *testing.T) {
+	r, h := startResolver(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.LookupA(ctx, "alias.test"); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d concurrent lookups failed", failures.Load())
+	}
+	// Coalescing keeps upstream load at a few queries, not 16.
+	if got := h.count("alias.test."); got > 4 {
+		t.Fatalf("upstream queried %d times under concurrency", got)
+	}
+}
+
+func TestResolverFlush(t *testing.T) {
+	r, h := startResolver(t)
+	ctx := context.Background()
+	r.LookupA(ctx, "direct.test")
+	r.Flush()
+	r.LookupA(ctx, "direct.test")
+	if got := h.count("direct.test."); got != 2 {
+		t.Fatalf("flush ineffective: %d upstream queries", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package export persists and reloads study datasets. The paper makes
+// its dataset "available upon request" (§1); this package defines that
+// interchange format: a JSON-lines stream (one annotated URL record
+// per line, with a header object carrying study metadata) and a CSV
+// variant for spreadsheet-bound consumers. Round-tripping is lossless
+// for every field the analyses read, so a saved dataset can be
+// re-analysed without re-running the pipeline.
+package export
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+// FormatVersion identifies the interchange format.
+const FormatVersion = 1
+
+// header is the first line of a JSONL export.
+type header struct {
+	Format  string  `json:"format"`
+	Version int     `json:"version"`
+	Seed    int64   `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Records int     `json:"records"`
+	Topsite int     `json:"topsites"`
+}
+
+// jsonRecord is the wire form of a URL record.
+type jsonRecord struct {
+	URL          string `json:"url"`
+	Host         string `json:"host"`
+	Country      string `json:"country"`
+	Region       string `json:"region"`
+	Bytes        int64  `json:"bytes"`
+	Depth        int    `json:"depth"`
+	Method       string `json:"method,omitempty"`
+	IP           string `json:"ip"`
+	ASN          int    `json:"asn"`
+	Org          string `json:"org"`
+	RegCountry   string `json:"regCountry"`
+	GovAS        bool   `json:"govAS,omitempty"`
+	Anycast      bool   `json:"anycast,omitempty"`
+	ServeCountry string `json:"serveCountry,omitempty"`
+	GeoMethod    string `json:"geoMethod,omitempty"`
+	Category     int    `json:"category"`
+	TopsiteSelf  bool   `json:"topsiteSelf,omitempty"`
+	HTTPSValid   bool   `json:"httpsValid,omitempty"`
+	Kind         string `json:"kind"` // "gov" or "topsite"
+}
+
+func toWire(r *dataset.URLRecord, kind string) jsonRecord {
+	return jsonRecord{
+		URL: r.URL, Host: r.Host, Country: r.Country, Region: string(r.Region),
+		Bytes: r.Bytes, Depth: r.Depth, Method: r.Method,
+		IP: r.IP.String(), ASN: r.ASN, Org: r.Org, RegCountry: r.RegCountry,
+		GovAS: r.GovAS, Anycast: r.Anycast,
+		ServeCountry: r.ServeCountry, GeoMethod: r.GeoMethod,
+		Category: int(r.Category), TopsiteSelf: r.TopsiteSelf, HTTPSValid: r.HTTPSValid, Kind: kind,
+	}
+}
+
+func fromWire(w *jsonRecord) (dataset.URLRecord, error) {
+	var r dataset.URLRecord
+	ip, err := netip.ParseAddr(w.IP)
+	if err != nil {
+		return r, fmt.Errorf("export: record %q: bad IP %q", w.URL, w.IP)
+	}
+	if w.Category < 0 || w.Category >= int(world.NumCategories) {
+		return r, fmt.Errorf("export: record %q: bad category %d", w.URL, w.Category)
+	}
+	r = dataset.URLRecord{
+		URL: w.URL, Host: w.Host, Country: w.Country, Region: world.Region(w.Region),
+		Bytes: w.Bytes, Depth: w.Depth, Method: w.Method,
+		IP: ip, ASN: w.ASN, Org: w.Org, RegCountry: w.RegCountry,
+		GovAS: w.GovAS, Anycast: w.Anycast,
+		ServeCountry: w.ServeCountry, GeoMethod: w.GeoMethod,
+		Category: world.Category(w.Category), TopsiteSelf: w.TopsiteSelf, HTTPSValid: w.HTTPSValid,
+	}
+	return r, nil
+}
+
+// WriteJSONL streams the dataset as JSON lines: a header object
+// followed by one record object per line.
+func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{
+		Format: "govhost-dataset", Version: FormatVersion,
+		Seed: ds.Seed, Scale: ds.Scale,
+		Records: len(ds.Records), Topsite: len(ds.Topsites),
+	}); err != nil {
+		return err
+	}
+	for i := range ds.Records {
+		if err := enc.Encode(toWire(&ds.Records[i], "gov")); err != nil {
+			return err
+		}
+	}
+	for i := range ds.Topsites {
+		if err := enc.Encode(toWire(&ds.Topsites[i], "topsite")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reloads a dataset written by WriteJSONL. Per-country
+// statistics and totals are not part of the interchange format; the
+// caller re-derives what it needs from the records.
+func ReadJSONL(r io.Reader) (*dataset.Dataset, error) {
+	dec := json.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("export: header: %w", err)
+	}
+	if h.Format != "govhost-dataset" {
+		return nil, fmt.Errorf("export: not a govhost dataset (format %q)", h.Format)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("export: unsupported version %d", h.Version)
+	}
+	ds := &dataset.Dataset{
+		Seed: h.Seed, Scale: h.Scale,
+		PerCountry: map[string]*dataset.CountryStats{},
+	}
+	for {
+		var w jsonRecord
+		if err := dec.Decode(&w); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("export: record: %w", err)
+		}
+		rec, err := fromWire(&w)
+		if err != nil {
+			return nil, err
+		}
+		switch w.Kind {
+		case "topsite":
+			ds.Topsites = append(ds.Topsites, rec)
+		default:
+			ds.Records = append(ds.Records, rec)
+		}
+	}
+	if len(ds.Records) != h.Records || len(ds.Topsites) != h.Topsite {
+		return nil, fmt.Errorf("export: truncated dataset: %d/%d records, %d/%d topsites",
+			len(ds.Records), h.Records, len(ds.Topsites), h.Topsite)
+	}
+	return ds, nil
+}
+
+// csvHeader is the column layout of the CSV export.
+var csvHeader = []string{
+	"url", "host", "country", "region", "bytes", "depth", "method",
+	"ip", "asn", "org", "reg_country", "gov_as", "anycast",
+	"serve_country", "geo_method", "category", "topsite_self",
+	"https_valid", "kind",
+}
+
+// WriteCSV writes the dataset as CSV with a header row.
+func WriteCSV(w io.Writer, ds *dataset.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	emit := func(r *dataset.URLRecord, kind string) error {
+		return cw.Write([]string{
+			r.URL, r.Host, r.Country, string(r.Region),
+			strconv.FormatInt(r.Bytes, 10), strconv.Itoa(r.Depth), r.Method,
+			r.IP.String(), strconv.Itoa(r.ASN), r.Org, r.RegCountry,
+			strconv.FormatBool(r.GovAS), strconv.FormatBool(r.Anycast),
+			r.ServeCountry, r.GeoMethod, r.Category.String(),
+			strconv.FormatBool(r.TopsiteSelf), strconv.FormatBool(r.HTTPSValid), kind,
+		})
+	}
+	for i := range ds.Records {
+		if err := emit(&ds.Records[i], "gov"); err != nil {
+			return err
+		}
+	}
+	for i := range ds.Topsites {
+		if err := emit(&ds.Topsites[i], "topsite"); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,143 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+func sampleDataset() *dataset.Dataset {
+	return &dataset.Dataset{
+		Seed: 42, Scale: 0.1,
+		Records: []dataset.URLRecord{
+			{
+				URL: "https://www.gub.uy/", Host: "www.gub.uy", Country: "UY",
+				Region: world.LAC, Bytes: 70000, Depth: 0, Method: "tld",
+				IP: netip.MustParseAddr("179.27.169.201"), ASN: 6057,
+				Org: "Administracion Nac. de Telecom.", RegCountry: "UY",
+				GovAS: true, ServeCountry: "UY", GeoMethod: "AP",
+				Category: world.CatGovtSOE,
+			},
+			{
+				URL: "https://portal.gob.mx/a.js", Host: "portal.gob.mx", Country: "MX",
+				Region: world.LAC, Bytes: 55000, Depth: 1, Method: "tld",
+				IP: netip.MustParseAddr("16.3.0.9"), ASN: 8075,
+				Org: "Microsoft, Inc.", RegCountry: "US",
+				ServeCountry: "US", GeoMethod: "MG", Category: world.Cat3PGlobal,
+			},
+		},
+		Topsites: []dataset.URLRecord{
+			{
+				URL: "https://www.searchco.mx/", Host: "www.searchco.mx", Country: "MX",
+				Region: world.LAC, Bytes: 90000,
+				IP: netip.MustParseAddr("16.9.0.1"), ASN: 400001, Org: "SearchCo Inc.",
+				RegCountry: "US", ServeCountry: "US", GeoMethod: "AP",
+				Category: world.CatGovtSOE, TopsiteSelf: true,
+			},
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.Scale != 0.1 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Records, ds.Records) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", got.Records, ds.Records)
+	}
+	if !reflect.DeepEqual(got.Topsites, ds.Topsites) {
+		t.Fatalf("topsites differ:\n got %+v\nwant %+v", got.Topsites, ds.Topsites)
+	}
+}
+
+func TestReadJSONLRejectsForeignFormats(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "garbage\n",
+		"wrong format":    `{"format":"something-else","version":1}` + "\n",
+		"wrong version":   `{"format":"govhost-dataset","version":99}` + "\n",
+		"truncated count": `{"format":"govhost-dataset","version":1,"records":5}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONLRejectsBadRecords(t *testing.T) {
+	in := `{"format":"govhost-dataset","version":1,"records":1}
+{"url":"https://x/","ip":"not-an-ip","category":0,"kind":"gov"}
+`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("bad IP accepted")
+	}
+	in = `{"format":"govhost-dataset","version":1,"records":1}
+{"url":"https://x/","ip":"1.2.3.4","category":99,"kind":"gov"}
+`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("bad category accepted")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 2 gov + 1 topsite
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(rows[0]) != len(csvHeader) {
+		t.Fatalf("column count = %d", len(rows[0]))
+	}
+	if !reflect.DeepEqual(rows[0], csvHeader) {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "https://www.gub.uy/" || rows[1][15] != "Govt&SOE" {
+		t.Fatalf("first row = %v", rows[1])
+	}
+	if rows[3][18] != "topsite" || rows[3][16] != "true" {
+		t.Fatalf("topsite row = %v", rows[3])
+	}
+}
+
+// TestAnalysesSurviveRoundTrip re-runs an analysis over a reloaded
+// dataset and demands identical results — the property that makes the
+// interchange format useful for replication.
+func TestAnalysesSurviveRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBytes() != ds.TotalBytes() {
+		t.Fatal("byte totals differ after round trip")
+	}
+	if !reflect.DeepEqual(got.CountriesWithRecords(), ds.CountriesWithRecords()) {
+		t.Fatal("country sets differ after round trip")
+	}
+}

@@ -1,0 +1,49 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+// TestJSONLRoundTripQuick round-trips randomly generated records: the
+// interchange format must be lossless for arbitrary field contents.
+func TestJSONLRoundTripQuick(t *testing.T) {
+	regions := []world.Region{world.NA, world.LAC, world.ECA, world.MENA, world.SSA, world.SA, world.EAP}
+	f := func(n uint8, host string, bytesV uint32, depth uint8, asn uint16,
+		a, b, c, d byte, govAS, anycast, valid bool, regIdx, catIdx uint8) bool {
+		count := int(n%5) + 1
+		ds := &dataset.Dataset{Seed: 7, Scale: 0.5}
+		for i := 0; i < count; i++ {
+			ds.Records = append(ds.Records, dataset.URLRecord{
+				URL:     fmt.Sprintf("https://h%d.example/%d", i, i),
+				Host:    fmt.Sprintf("h%d.example", i),
+				Country: "UY", Region: regions[int(regIdx)%len(regions)],
+				Bytes: int64(bytesV), Depth: int(depth % 8), Method: "tld",
+				IP: netip.AddrFrom4([4]byte{a, b, c, d}), ASN: int(asn) + 1,
+				Org: host, RegCountry: "UY", GovAS: govAS, Anycast: anycast,
+				ServeCountry: "UY", GeoMethod: "AP",
+				Category:   world.Category(int(catIdx) % int(world.NumCategories)),
+				HTTPSValid: valid,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, ds); err != nil {
+			return false
+		}
+		got, err := ReadJSONL(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Records, ds.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

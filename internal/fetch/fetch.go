@@ -1,0 +1,25 @@
+// Package fetch defines the minimal HTTP-fetch abstraction shared by
+// the crawler and the two backends that implement it: the in-memory
+// estate fetcher (fast, used for full-scale studies) and the real
+// net/http fetcher (used in integration tests and examples against the
+// simulated web server).
+package fetch
+
+import "context"
+
+// Response is the result of fetching one URL.
+type Response struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	// BodySize is the logical body size in bytes. The in-memory
+	// backend reports the generator's ground-truth size without
+	// materialising padding; the HTTP backend reports len(Body).
+	BodySize int64
+}
+
+// Fetcher fetches URLs from a fixed vantage point. Implementations
+// must be safe for concurrent use.
+type Fetcher interface {
+	Fetch(ctx context.Context, url string) (*Response, error)
+}

@@ -1,0 +1,56 @@
+// Package geo_test exercises the two geolocation evidence stores.
+package geo_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/geo/ipinfo"
+	"repro/internal/geo/manycast"
+)
+
+func TestIPInfoStore(t *testing.T) {
+	db := ipinfo.New()
+	addr := netip.MustParseAddr("16.1.0.5")
+	db.Put(addr, ipinfo.Entry{Country: "UY", Org: "ANTEL"})
+	e, ok := db.Lookup(addr)
+	if !ok || e.Country != "UY" || e.Org != "ANTEL" {
+		t.Fatalf("Lookup = %+v %v", e, ok)
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Fatal("missing address found")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestIPInfoOverwrite(t *testing.T) {
+	db := ipinfo.New()
+	addr := netip.MustParseAddr("16.1.0.5")
+	db.Put(addr, ipinfo.Entry{Country: "US"})
+	db.Put(addr, ipinfo.Entry{Country: "DE"})
+	if e, _ := db.Lookup(addr); e.Country != "DE" {
+		t.Fatalf("overwrite failed: %+v", e)
+	}
+	if db.Len() != 1 {
+		t.Fatal("overwrite created a second entry")
+	}
+}
+
+func TestManycastSnapshot(t *testing.T) {
+	s := manycast.New()
+	a := netip.MustParseAddr("16.0.0.1")
+	b := netip.MustParseAddr("16.0.0.2")
+	s.Mark(a)
+	if !s.IsAnycast(a) {
+		t.Fatal("marked address not detected")
+	}
+	if s.IsAnycast(b) {
+		t.Fatal("unmarked address detected")
+	}
+	s.Mark(a) // idempotent
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

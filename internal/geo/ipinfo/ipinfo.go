@@ -1,0 +1,50 @@
+// Package ipinfo models the commercial geolocation database of §3.5
+// Step #1. Coverage and accuracy follow Darwich et al.'s findings:
+// most targets are located correctly, a configurable fraction carries
+// a wrong country, and anycast addresses are typically pinned to the
+// operator's home country — the failure mode that motivates the
+// paper's verification stages.
+package ipinfo
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// Entry is one geolocation answer.
+type Entry struct {
+	Country string
+	City    string
+	Org     string
+}
+
+// DB is the geolocation database.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[netip.Addr]Entry
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{entries: make(map[netip.Addr]Entry)} }
+
+// Put stores the answer the database would return for addr.
+func (d *DB) Put(addr netip.Addr, e Entry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[addr] = e
+}
+
+// Lookup returns the database answer for addr.
+func (d *DB) Lookup(addr netip.Addr) (Entry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[addr]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (d *DB) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}

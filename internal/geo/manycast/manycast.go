@@ -1,0 +1,42 @@
+// Package manycast models the MAnycast2 snapshot of §3.5 Step #2: a
+// precomputed set of addresses detected as anycast by launching active
+// measurements from anycast vantage points (Sommese et al.). Detection
+// has high but imperfect recall, so a small fraction of anycast
+// addresses slip through to the unicast pipeline — as they do in
+// practice.
+package manycast
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// Snapshot is a set of anycast-flagged addresses.
+type Snapshot struct {
+	mu    sync.RWMutex
+	addrs map[netip.Addr]bool
+}
+
+// New returns an empty snapshot.
+func New() *Snapshot { return &Snapshot{addrs: make(map[netip.Addr]bool)} }
+
+// Mark flags addr as anycast.
+func (s *Snapshot) Mark(addr netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addrs[addr] = true
+}
+
+// IsAnycast reports whether addr was detected as anycast.
+func (s *Snapshot) IsAnycast(addr netip.Addr) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.addrs[addr]
+}
+
+// Len returns the number of flagged addresses.
+func (s *Snapshot) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.addrs)
+}

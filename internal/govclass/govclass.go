@@ -1,0 +1,171 @@
+// Package govclass implements the two classification tasks of §3.3 and
+// §3.4: deciding which crawled URLs are government resources (Table 1:
+// government TLD patterns, domain matching against the landing list,
+// SAN matching with manual verification), and deciding which
+// autonomous systems are operated by governments or state-owned
+// enterprises (PeeringDB indicators, WHOIS organizations and contact
+// domains, and web search as the last resort).
+package govclass
+
+import (
+	"strings"
+
+	"repro/internal/peeringdb"
+	"repro/internal/whois"
+)
+
+// GovTLDPatterns are the label patterns of Table 1, following
+// Singanamalla et al.: a hostname is government-labelled when any of
+// its DNS labels equals one of these.
+var GovTLDPatterns = []string{
+	"gov", "govern", "government", "govt", "mil", "fed",
+	"admin", "gouv", "gob", "go", "gub", "guv",
+}
+
+var govTLDSet = func() map[string]bool {
+	m := make(map[string]bool, len(GovTLDPatterns))
+	for _, p := range GovTLDPatterns {
+		m[p] = true
+	}
+	return m
+}()
+
+// MatchesGovTLD reports whether any label of the hostname equals a
+// government TLD pattern (finance.gov.br, impots.gouv.fr, www.gub.uy).
+func MatchesGovTLD(host string) bool {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	for _, label := range strings.Split(host, ".") {
+		if govTLDSet[label] {
+			return true
+		}
+	}
+	return false
+}
+
+// URLMethod is the Table 1 step that classified a URL as government.
+type URLMethod string
+
+// Classification outcomes.
+const (
+	MethodTLD       URLMethod = "tld"
+	MethodDomain    URLMethod = "domain"
+	MethodSAN       URLMethod = "san"
+	MethodDiscarded URLMethod = "discarded"
+)
+
+// URLClassifier applies the Table 1 steps in order.
+type URLClassifier struct {
+	// LandingHosts is the §3.1 directory: hostnames of the collected
+	// government websites.
+	LandingHosts map[string]bool
+	// SANHosts maps every hostname appearing in a landing-page
+	// certificate SAN list to the certificate's subject.
+	SANHosts map[string]string
+	// VerifySAN stands in for the manual verification the paper
+	// applies to SAN-discovered hostnames; it reports whether the
+	// hostname is genuinely government-affiliated.
+	VerifySAN func(host string) bool
+}
+
+// Classify returns the method that admits the hostname as a government
+// resource, or MethodDiscarded.
+func (c *URLClassifier) Classify(host string) URLMethod {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	if MatchesGovTLD(host) {
+		return MethodTLD
+	}
+	if c.LandingHosts[host] || c.LandingHosts[strings.TrimPrefix(host, "www.")] {
+		return MethodDomain
+	}
+	if _, ok := c.SANHosts[host]; ok {
+		if c.VerifySAN == nil || c.VerifySAN(host) {
+			return MethodSAN
+		}
+	}
+	return MethodDiscarded
+}
+
+// govKeywords flag government ownership in organization names and
+// PeeringDB notes.
+var govKeywords = []string{
+	"government", "ministry", "federal", "dept.", "department of",
+	"presidency", "parliament", "state-owned", "national",
+	"administracion nacional", "u.s.",
+}
+
+// containsGovKeyword reports whether the text carries a government
+// ownership signal.
+func containsGovKeyword(text string) bool {
+	t := strings.ToLower(text)
+	for _, k := range govKeywords {
+		if strings.Contains(t, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// SearchResult is the simulated web-search answer used as the final
+// classification fallback.
+type SearchResult struct {
+	Website string
+	Snippet string
+}
+
+// ASEvidence names the source that classified an AS as government.
+type ASEvidence string
+
+// Evidence sources, in the order §3.4 consults them.
+const (
+	EvidencePeeringDB ASEvidence = "peeringdb"
+	EvidenceWHOISOrg  ASEvidence = "whois-org"
+	EvidenceWHOISMail ASEvidence = "whois-email"
+	EvidenceSearch    ASEvidence = "search"
+	EvidenceNone      ASEvidence = ""
+)
+
+// ASClassifier decides government/SOE ownership of networks.
+type ASClassifier struct {
+	PDB *peeringdb.Store
+	// Search simulates a web search for an organization name.
+	Search func(org string) (SearchResult, bool)
+}
+
+// Classify reports whether the AS behind the WHOIS record is
+// government-operated or a state-owned enterprise, and which evidence
+// established it.
+func (a *ASClassifier) Classify(rec whois.Record) (bool, ASEvidence) {
+	// PeeringDB: name, organization or note may reveal ownership, as
+	// in AS26810's "U.S. Dept. of Health and Human Services".
+	if a.PDB != nil {
+		if p, ok := a.PDB.Get(rec.ASN); ok {
+			if containsGovKeyword(p.Org) || containsGovKeyword(p.Note) || containsGovKeyword(p.Name) {
+				return true, EvidencePeeringDB
+			}
+		}
+	}
+	// WHOIS organization name.
+	if containsGovKeyword(rec.Org) {
+		return true, EvidenceWHOISOrg
+	}
+	// WHOIS contact email under a government domain.
+	if rec.Email != "" {
+		if _, domain, ok := strings.Cut(rec.Email, "@"); ok && MatchesGovTLD(domain) {
+			return true, EvidenceWHOISMail
+		}
+	}
+	// Web search on the organization.
+	if a.Search != nil {
+		if res, ok := a.Search(rec.Org); ok {
+			snippet := strings.ToLower(res.Snippet)
+			if strings.Contains(snippet, "state-owned enterprise") ||
+				strings.Contains(snippet, "government agency") {
+				return true, EvidenceSearch
+			}
+			if MatchesGovTLD(strings.TrimPrefix(strings.TrimPrefix(res.Website, "https://www."), "https://")) {
+				return true, EvidenceSearch
+			}
+		}
+	}
+	return false, EvidenceNone
+}

@@ -1,0 +1,135 @@
+package govclass
+
+import (
+	"testing"
+
+	"repro/internal/peeringdb"
+	"repro/internal/whois"
+)
+
+func TestMatchesGovTLD(t *testing.T) {
+	positives := []string{
+		"finance.gov.br", "impots.gouv.fr", "www.gub.uy", "portal.go.id",
+		"health.gob.mx", "army.mil", "sso.admin.ch", "x.govt.nz",
+		"data.government.bg", "a.guv.example", "GOV.uk",
+	}
+	for _, h := range positives {
+		if !MatchesGovTLD(h) {
+			t.Errorf("MatchesGovTLD(%q) = false, want true", h)
+		}
+	}
+	negatives := []string{
+		"defensie.nl", "parlement.ma", "orniss.ro", "landkreistag.de",
+		"fgov.be", // label is "fgov", not "gov"
+		"governor.example", "gobbledygook.com", "energia-argentina.com.ar",
+		"mygov-portal.com", // label contains but does not equal "gov"
+		"",
+	}
+	for _, h := range negatives {
+		if MatchesGovTLD(h) {
+			t.Errorf("MatchesGovTLD(%q) = true, want false", h)
+		}
+	}
+}
+
+func TestURLClassifierOrder(t *testing.T) {
+	c := &URLClassifier{
+		LandingHosts: map[string]bool{"defensie.nl": true, "finance.gov.br": true},
+		SANHosts:     map[string]string{"energia-argentina.com.ar": "energia.gob.ar"},
+		VerifySAN:    func(string) bool { return true },
+	}
+	// Government TLD wins even for landing hosts.
+	if got := c.Classify("finance.gov.br"); got != MethodTLD {
+		t.Errorf("gov-TLD landing host = %v, want tld", got)
+	}
+	// Non-TLD landing hosts match by domain.
+	if got := c.Classify("defensie.nl"); got != MethodDomain {
+		t.Errorf("vanity landing host = %v, want domain", got)
+	}
+	// SAN-only affiliates match last.
+	if got := c.Classify("energia-argentina.com.ar"); got != MethodSAN {
+		t.Errorf("SAN affiliate = %v, want san", got)
+	}
+	// Everything else is discarded.
+	if got := c.Classify("cdn.websolutions1.com"); got != MethodDiscarded {
+		t.Errorf("contractor = %v, want discarded", got)
+	}
+}
+
+func TestURLClassifierWWWPrefix(t *testing.T) {
+	c := &URLClassifier{LandingHosts: map[string]bool{"defensie.nl": true}}
+	if got := c.Classify("www.defensie.nl"); got != MethodDomain {
+		t.Errorf("www-prefixed landing host = %v, want domain", got)
+	}
+}
+
+func TestURLClassifierSANVerificationGate(t *testing.T) {
+	c := &URLClassifier{
+		SANHosts:  map[string]string{"shady.example": "landing.gov.xx"},
+		VerifySAN: func(string) bool { return false },
+	}
+	if got := c.Classify("shady.example"); got != MethodDiscarded {
+		t.Errorf("unverified SAN host = %v, want discarded (§3.3 manual verification)", got)
+	}
+}
+
+func asClassifier() *ASClassifier {
+	pdb := peeringdb.NewStore()
+	pdb.Add(peeringdb.Record{ASN: 26810, Name: "HHS-NET", Org: "U.S. Dept. of Health and Human Services"})
+	pdb.Add(peeringdb.Record{ASN: 6057, Name: "ANTEL", Org: "Administracion Nac. de Telecom.", Note: "State-owned operator"})
+	pdb.Add(peeringdb.Record{ASN: 13335, Name: "CLOUDFLARENET", Org: "Cloudflare, Inc."})
+	search := map[string]SearchResult{
+		"Yacimientos Petroliferos Fiscales": {Website: "https://www.ypf.com",
+			Snippet: "State-owned enterprise; the federal government holds more than 50% of the shares."},
+		"UYNIC-TA": {Website: "https://www.tax.gub.uy",
+			Snippet: "Official government agency of Uruguay."},
+		"NetHost Chile 1": {Website: "https://www.hosting1.cl",
+			Snippet: "Commercial web hosting and data-centre services in Chile."},
+	}
+	return &ASClassifier{PDB: pdb, Search: func(org string) (SearchResult, bool) {
+		r, ok := search[org]
+		return r, ok
+	}}
+}
+
+func TestASClassifierEvidencePaths(t *testing.T) {
+	a := asClassifier()
+	cases := []struct {
+		rec  whois.Record
+		want bool
+		via  ASEvidence
+	}{
+		// PeeringDB organization reveals government ownership.
+		{whois.Record{ASN: 26810, Org: "HHS"}, true, EvidencePeeringDB},
+		// PeeringDB note reveals state ownership.
+		{whois.Record{ASN: 6057, Org: "Administracion Nac. de Telecom."}, true, EvidencePeeringDB},
+		// WHOIS organization name carries the signal.
+		{whois.Record{ASN: 1, Org: "Ministry of Finance of Chile"}, true, EvidenceWHOISOrg},
+		// WHOIS contact email under a government domain.
+		{whois.Record{ASN: 2, Org: "XYNIC-X", Email: "noc@gob.cl"}, true, EvidenceWHOISMail},
+		// Web search identifies the SOE (the YPF case, §3.4).
+		{whois.Record{ASN: 27655, Org: "Yacimientos Petroliferos Fiscales"}, true, EvidenceSearch},
+		// Web search identifies an opaque government org by its site.
+		{whois.Record{ASN: 3, Org: "UYNIC-TA"}, true, EvidenceSearch},
+		// Commercial hoster: no evidence anywhere.
+		{whois.Record{ASN: 4, Org: "NetHost Chile 1", Email: "noc@hosting1.cl"}, false, EvidenceNone},
+		// Global provider: not a government network.
+		{whois.Record{ASN: 13335, Org: "Cloudflare, Inc."}, false, EvidenceNone},
+	}
+	for _, tc := range cases {
+		got, via := a.Classify(tc.rec)
+		if got != tc.want || via != tc.via {
+			t.Errorf("Classify(%q) = %v/%v, want %v/%v", tc.rec.Org, got, via, tc.want, tc.via)
+		}
+	}
+}
+
+func TestASClassifierWithoutSources(t *testing.T) {
+	a := &ASClassifier{}
+	if got, _ := a.Classify(whois.Record{Org: "Ministry of Defense of X"}); !got {
+		t.Fatal("WHOIS-only classification must still work")
+	}
+	if got, _ := a.Classify(whois.Record{Org: "Plain Hosting Ltd"}); got {
+		t.Fatal("no evidence must mean not government")
+	}
+}

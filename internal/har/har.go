@@ -1,0 +1,106 @@
+// Package har models the HTTP-Archive-style capture the crawler
+// produces (§3.2): one entry per fetched resource with the fields the
+// downstream pipeline needs. It reads and writes a compact JSON
+// encoding so crawl results can be persisted and replayed.
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+)
+
+// Entry is one captured request/response pair.
+type Entry struct {
+	URL         string `json:"url"`
+	Host        string `json:"host"`
+	Status      int    `json:"status"`
+	ContentType string `json:"contentType,omitempty"`
+	BodySize    int64  `json:"bodySize"`
+	Depth       int    `json:"depth"`         // 0 = landing page
+	Landing     string `json:"landing"`       // the landing URL this crawl started from
+	Country     string `json:"country"`       // vantage country code
+	FromVPN     string `json:"vpn,omitempty"` // VPN service used
+}
+
+// Archive is an ordered collection of entries for one crawl.
+type Archive struct {
+	Version string  `json:"version"`
+	Creator string  `json:"creator"`
+	Entries []Entry `json:"entries"`
+}
+
+// New returns an empty archive with creator metadata.
+func New() *Archive {
+	return &Archive{Version: "1.2", Creator: "govhost-crawler"}
+}
+
+// Add appends an entry.
+func (a *Archive) Add(e Entry) { a.Entries = append(a.Entries, e) }
+
+// Merge appends every entry of b.
+func (a *Archive) Merge(b *Archive) { a.Entries = append(a.Entries, b.Entries...) }
+
+// Hosts returns the sorted set of distinct hostnames in the archive.
+func (a *Archive) Hosts() []string {
+	set := make(map[string]bool)
+	for _, e := range a.Entries {
+		set[e.Host] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// URLs returns the sorted set of distinct URLs.
+func (a *Archive) URLs() []string {
+	set := make(map[string]bool)
+	for _, e := range a.Entries {
+		set[e.URL] = true
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes sums body sizes across entries.
+func (a *Archive) TotalBytes() int64 {
+	var total int64
+	for _, e := range a.Entries {
+		total += e.BodySize
+	}
+	return total
+}
+
+// WriteJSON writes the archive as JSON.
+func (a *Archive) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(a)
+}
+
+// ReadJSON parses an archive from JSON.
+func ReadJSON(r io.Reader) (*Archive, error) {
+	var a Archive
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("har: decode: %w", err)
+	}
+	return &a, nil
+}
+
+// HostOf extracts the hostname of a URL, or "" when unparseable.
+func HostOf(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Hostname()
+}

@@ -1,0 +1,76 @@
+package har
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sample() *Archive {
+	a := New()
+	a.Add(Entry{URL: "https://finance.gov.br/", Host: "finance.gov.br", Status: 200, BodySize: 1000, Depth: 0, Country: "BR"})
+	a.Add(Entry{URL: "https://finance.gov.br/a.css", Host: "finance.gov.br", Status: 200, BodySize: 500, Depth: 1, Country: "BR"})
+	a.Add(Entry{URL: "https://cdn.example.com/x.js", Host: "cdn.example.com", Status: 200, BodySize: 2500, Depth: 1, Country: "BR"})
+	return a
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := sample()
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 3 || b.Version != "1.2" || b.Creator != "govhost-crawler" {
+		t.Fatalf("round trip lost data: %+v", b)
+	}
+	if b.Entries[2].BodySize != 2500 {
+		t.Fatalf("entry field lost: %+v", b.Entries[2])
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestHostsAndURLsDeduplicated(t *testing.T) {
+	a := sample()
+	hosts := a.Hosts()
+	if len(hosts) != 2 || hosts[0] != "cdn.example.com" {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+	if got := len(a.URLs()); got != 3 {
+		t.Fatalf("URLs = %d, want 3", got)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if got := sample().TotalBytes(); got != 4000 {
+		t.Fatalf("TotalBytes = %d, want 4000", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := sample(), sample()
+	a.Merge(b)
+	if len(a.Entries) != 6 {
+		t.Fatalf("merged entries = %d, want 6", len(a.Entries))
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"https://www.gub.uy/path?q=1": "www.gub.uy",
+		"http://example.com:8080/":    "example.com",
+		"://bad":                      "",
+	}
+	for in, want := range cases {
+		if got := HostOf(in); got != want {
+			t.Errorf("HostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package naming generates consistent synthetic names for government
+// bodies, state-owned enterprises and their domains. Both the network
+// simulator (AS/WHOIS metadata) and the website generator (hostnames)
+// draw from this package, so WHOIS organizations, certificate subjects
+// and crawled hostnames line up the way they do on the real Internet.
+package naming
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/world"
+)
+
+// Ministries is the pool of federal-administration bodies used to
+// populate each country's estate (§3.1: presidency, ministries,
+// secretaries, decentralized agencies).
+var Ministries = []string{
+	"presidency", "finance", "health", "interior", "education", "defense",
+	"justice", "foreign-affairs", "transport", "agriculture", "energy",
+	"environment", "labor", "culture", "science", "trade", "tourism",
+	"communications", "housing", "planning", "sports", "mining",
+	"fisheries", "industry", "social-affairs", "youth", "water",
+	"digital-affairs", "economy", "infrastructure",
+}
+
+// Agencies is the pool of decentralized federal agencies.
+var Agencies = []string{
+	"tax-authority", "statistics", "customs", "immigration", "police",
+	"meteorology", "standards", "elections", "archives", "library",
+	"space-agency", "science-foundation", "drug-administration",
+	"aviation-authority", "maritime-authority", "geological-survey",
+	"census-bureau", "postal-regulator", "telecom-regulator",
+	"competition-authority", "audit-office", "central-bank",
+	"social-security", "pension-fund", "land-registry", "patent-office",
+	"food-safety", "nuclear-authority", "highway-administration",
+	"railway-authority", "ports-authority", "water-authority",
+	"forest-service", "parks-service", "heritage-board", "export-agency",
+	"investment-board", "tourism-board", "sports-council", "arts-council",
+}
+
+// SOEs is the pool of state-owned enterprise archetypes; {cc} is the
+// country code slot in the generated company name.
+var SOEs = []string{
+	"telecom", "post", "railways", "power", "oil", "airline", "water-utility",
+	"mining-corp", "gas", "broadcasting", "ports", "lottery", "bank",
+}
+
+// GovHost returns the hostname for a government body. Bodies of
+// countries with a government TLD convention live under it
+// (finance.gov.xx); the NonGovTLDShare tail and all countries without a
+// convention get ministry vanity domains (ministerie-van-financien.nl
+// style is approximated as finance-<cc>.<cctld>).
+func GovHost(c *world.Country, body string, underGovTLD bool) string {
+	if underGovTLD && len(c.GovSuffix) > 0 {
+		return body + "." + c.GovSuffix[0]
+	}
+	return body + "-" + strings.ToLower(c.Code) + "." + c.CCTLD
+}
+
+// SOEHost returns the hostname of a state-owned enterprise. SOEs
+// "rarely fall under the gov categorization" (§8), so they always use
+// commercial-looking domains.
+func SOEHost(c *world.Country, kind string) string {
+	return kind + "-" + strings.ToLower(c.Code) + "." + c.CCTLD
+}
+
+// SOEOrg returns the registered organization name of an SOE, e.g.
+// "National Telecom of Uruguay".
+func SOEOrg(c *world.Country, kind string) string {
+	return "National " + titleWord(kind) + " of " + c.Name
+}
+
+// GovOrg returns the registered organization name of a government
+// body, e.g. "Ministry of Finance of Chile" or "Chile Tax Authority".
+func GovOrg(c *world.Country, body string, opaque bool) string {
+	if opaque {
+		// Some government networks register under acronyms that carry
+		// no lexical government signal; the classifier must fall back
+		// to PeeringDB or web search for these.
+		return strings.ToUpper(c.Code) + "NIC-" + strings.ToUpper(abbrev(body))
+	}
+	if isAgency(body) {
+		return c.Name + " " + titleWord(body)
+	}
+	return "Ministry of " + titleWord(body) + " of " + c.Name
+}
+
+// LocalProviderName returns the organization name of a domestic
+// commercial hoster.
+func LocalProviderName(c *world.Country, i int) string {
+	styles := []string{"%s Hosting %d", "DataCenter %s %d", "%s Cloud Services %d", "NetHost %s %d"}
+	return fmt.Sprintf(styles[i%len(styles)], c.Name, i+1)
+}
+
+// LocalProviderDomain returns the domain of a domestic hoster.
+func LocalProviderDomain(c *world.Country, i int) string {
+	return fmt.Sprintf("hosting%d.%s", i+1, c.CCTLD)
+}
+
+// RegionalProviderName names a continent-scale hoster registered in
+// home and serving neighbouring countries.
+func RegionalProviderName(home *world.Country, i int) string {
+	return fmt.Sprintf("%s Regional Cloud %d", home.Name, i+1)
+}
+
+func isAgency(body string) bool {
+	for _, a := range Agencies {
+		if a == body {
+			return true
+		}
+	}
+	return false
+}
+
+func titleWord(s string) string {
+	parts := strings.Split(s, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, " ")
+}
+
+func abbrev(s string) string {
+	var b strings.Builder
+	for _, p := range strings.Split(s, "-") {
+		if p != "" {
+			b.WriteByte(p[0])
+		}
+	}
+	return b.String()
+}

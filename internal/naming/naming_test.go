@@ -1,0 +1,91 @@
+package naming
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+func TestGovHostUnderGovTLD(t *testing.T) {
+	m := world.New()
+	uy := m.MustCountry("UY")
+	if got := GovHost(uy, "finance", true); got != "finance.gub.uy" {
+		t.Errorf("GovHost = %q, want finance.gub.uy", got)
+	}
+	if got := GovHost(uy, "finance", false); got != "finance-uy.uy" {
+		t.Errorf("vanity GovHost = %q, want finance-uy.uy", got)
+	}
+	de := m.MustCountry("DE")
+	// Germany has no gov TLD: even underGovTLD=true falls back.
+	if got := GovHost(de, "finance", true); !strings.HasSuffix(got, ".de") {
+		t.Errorf("German host = %q, want .de vanity domain", got)
+	}
+}
+
+func TestSOEHostLooksCommercial(t *testing.T) {
+	m := world.New()
+	host := SOEHost(m.MustCountry("AR"), "oil")
+	if strings.Contains(host, "gob") || strings.Contains(host, "gov") {
+		t.Errorf("SOE host %q must not carry a government label (§8)", host)
+	}
+	if !strings.HasSuffix(host, ".ar") {
+		t.Errorf("SOE host %q must use the ccTLD", host)
+	}
+}
+
+func TestGovOrgForms(t *testing.T) {
+	m := world.New()
+	cl := m.MustCountry("CL")
+	if got := GovOrg(cl, "finance", false); got != "Ministry of Finance of Chile" {
+		t.Errorf("ministry org = %q", got)
+	}
+	if got := GovOrg(cl, "tax-authority", false); got != "Chile Tax Authority" {
+		t.Errorf("agency org = %q", got)
+	}
+	opaque := GovOrg(cl, "tax-authority", true)
+	if strings.Contains(strings.ToLower(opaque), "chile") || strings.Contains(strings.ToLower(opaque), "ministry") {
+		t.Errorf("opaque org %q must carry no lexical government signal", opaque)
+	}
+}
+
+func TestSOEOrg(t *testing.T) {
+	m := world.New()
+	if got := SOEOrg(m.MustCountry("UY"), "telecom"); got != "National Telecom of Uruguay" {
+		t.Errorf("SOE org = %q", got)
+	}
+}
+
+func TestNamePoolsLargeEnough(t *testing.T) {
+	if len(Ministries)+len(Agencies) < 60 {
+		t.Fatalf("body pool too small: %d", len(Ministries)+len(Agencies))
+	}
+	seen := map[string]bool{}
+	for _, b := range append(append([]string{}, Ministries...), Agencies...) {
+		if seen[b] {
+			t.Fatalf("duplicate body name %q", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestLocalProviderNamesDistinct(t *testing.T) {
+	m := world.New()
+	c := m.MustCountry("PL")
+	a, b := LocalProviderName(c, 0), LocalProviderName(c, 1)
+	if a == b {
+		t.Fatal("local provider names must differ by index")
+	}
+	if LocalProviderDomain(c, 0) == LocalProviderDomain(c, 1) {
+		t.Fatal("local provider domains must differ by index")
+	}
+}
+
+func TestTitleWordAndAbbrev(t *testing.T) {
+	if got := titleWord("foreign-affairs"); got != "Foreign Affairs" {
+		t.Errorf("titleWord = %q", got)
+	}
+	if got := abbrev("tax-authority"); got != "ta" {
+		t.Errorf("abbrev = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"net/netip"
+
+	"repro/internal/world"
+)
+
+// Ping simulates one ICMP echo from a probe in vantage (a RIPE-Atlas
+// style probe near the capital) to the address. It returns the RTT in
+// milliseconds and false when the target does not answer ICMP.
+//
+// The RTT is the great-circle distance to the effective server site
+// converted through the fibre model of the world package, plus a
+// deterministic last-mile component and per-attempt jitter, so that
+// min-of-three measurements are reproducible without shared state.
+func (n *Net) Ping(vantage string, addr netip.Addr, attempt int) (float64, bool) {
+	h := n.Host(addr)
+	if h == nil || !h.ICMP {
+		return 0, false
+	}
+	v := n.World.Country(vantage)
+	if v == nil {
+		return 0, false
+	}
+	var lat, lon float64
+	if h.Anycast {
+		site := n.World.Country(n.AnycastSiteFor(h.Provider.Key, vantage))
+		lat, lon = site.Lat, site.Lon
+	} else {
+		lat, lon = h.Lat, h.Lon
+	}
+	dist := world.DistanceKM(v.Lat, v.Lon, lat, lon)
+	base := world.RTTForKM(dist)
+	j := jitter(vantage, addr, attempt)
+	// Last-mile and serialization delay: 0.3–1.3 ms, plus up to 2 ms of
+	// queueing jitter that min-of-three mostly filters out.
+	rtt := math.Max(base, 0.15) + 0.3 + j.lastMile + j.queue
+	return rtt, true
+}
+
+// MinPing returns the minimum RTT over k attempts (§3.5 sends three
+// pings and keeps the minimum), and false for unresponsive targets.
+func (n *Net) MinPing(vantage string, addr netip.Addr, k int) (float64, bool) {
+	best := math.Inf(1)
+	ok := false
+	for i := 0; i < k; i++ {
+		if rtt, resp := n.Ping(vantage, addr, i); resp {
+			ok = true
+			if rtt < best {
+				best = rtt
+			}
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return best, true
+}
+
+type pingJitter struct {
+	lastMile float64 // 0..1 ms, stable per (vantage, addr)
+	queue    float64 // 0..2 ms, varies per attempt
+}
+
+func jitter(vantage string, addr netip.Addr, attempt int) pingJitter {
+	h := fnv.New64a()
+	h.Write([]byte(vantage))
+	b := addr.As4()
+	h.Write(b[:])
+	stable := h.Sum64()
+	var ab [4]byte
+	binary.LittleEndian.PutUint32(ab[:], uint32(attempt))
+	h.Write(ab[:])
+	per := h.Sum64()
+	return pingJitter{
+		lastMile: float64(stable%1000) / 1000.0,
+		queue:    float64(per%2000) / 1000.0,
+	}
+}

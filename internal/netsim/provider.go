@@ -1,0 +1,99 @@
+package netsim
+
+// Provider is a global hosting/CDN provider from the catalogue of 28
+// networks the paper identifies as serving governments across multiple
+// continents (Fig. 10).
+type Provider struct {
+	Key     string // stable identifier, e.g. "cloudflare"
+	Name    string // display name as in Fig. 10
+	ASN     int    // real-world ASN for flavour
+	Home    string // country of registration
+	Anycast bool   // serves via IP anycast (affects geolocation, §3.5)
+
+	// BaseShare is the relative popularity among governments that use
+	// global providers; Adoption is the probability that a given
+	// country uses the provider at all. Both are calibrated against
+	// Fig. 10 (Cloudflare 49 countries, Microsoft 31, Amazon 28, …).
+	BaseShare float64
+	Adoption  float64
+
+	// DCs lists countries with unicast data centres; AnycastProb is
+	// the per-country probability of in-country anycast presence.
+	DCs         []string
+	AnycastProb float64
+}
+
+// Catalogue returns the 28-provider global catalogue. The order is the
+// Fig. 10 ranking.
+func Catalogue() []*Provider {
+	usBig := []string{"US", "CA", "GB", "IE", "DE", "FR", "NL", "SE", "IT", "ES", "PL", "SG", "JP", "AU", "HK", "AE", "CH"}
+	return []*Provider{
+		{Key: "cloudflare", Name: "Cloudflare", ASN: 13335, Home: "US", Anycast: true,
+			BaseShare: 0.30, Adoption: 0.82, AnycastProb: 0.82, DCs: []string{"US"}},
+		{Key: "microsoft", Name: "Microsoft", ASN: 8075, Home: "US",
+			BaseShare: 0.14, Adoption: 0.52, DCs: usBig},
+		{Key: "amazon", Name: "Amazon", ASN: 16509, Home: "US",
+			BaseShare: 0.13, Adoption: 0.47, DCs: usBig},
+		{Key: "hetzner", Name: "Hetzner", ASN: 24940, Home: "DE",
+			BaseShare: 0.06, Adoption: 0.34, DCs: []string{"DE", "FI", "US"}},
+		{Key: "google", Name: "Google", ASN: 15169, Home: "US", Anycast: true,
+			BaseShare: 0.06, Adoption: 0.31, AnycastProb: 0.72, DCs: []string{"US", "IE", "NL", "SG", "JP", "BR", "IN"}},
+		{Key: "ovh", Name: "Ovh", ASN: 16276, Home: "FR",
+			BaseShare: 0.05, Adoption: 0.27, DCs: []string{"FR", "CA", "PL", "DE", "GB", "SG", "AU", "US"}},
+		{Key: "incapsula", Name: "Incapsula", ASN: 19551, Home: "US", Anycast: true,
+			BaseShare: 0.03, Adoption: 0.23, AnycastProb: 0.62, DCs: []string{"US"}},
+		{Key: "digitalocean", Name: "Digitalocean", ASN: 14061, Home: "US",
+			BaseShare: 0.03, Adoption: 0.20, DCs: []string{"US", "NL", "SG", "IN", "DE", "GB", "CA", "AU"}},
+		{Key: "google-cloud", Name: "Google Cloud", ASN: 396982, Home: "US",
+			BaseShare: 0.03, Adoption: 0.18, DCs: usBig},
+		{Key: "akamai", Name: "Akamai", ASN: 20940, Home: "US", Anycast: true,
+			BaseShare: 0.025, Adoption: 0.17, AnycastProb: 0.68, DCs: []string{"US", "DE", "JP"}},
+		{Key: "fastly", Name: "Fastly", ASN: 54113, Home: "US", Anycast: true,
+			BaseShare: 0.02, Adoption: 0.15, AnycastProb: 0.62, DCs: []string{"US"}},
+		{Key: "cloudflare-ldn", Name: "Cloudflare London", ASN: 209242, Home: "GB", Anycast: true,
+			BaseShare: 0.015, Adoption: 0.13, AnycastProb: 0.6, DCs: []string{"GB"}},
+		{Key: "unifiedlayer", Name: "Unified Layer", ASN: 46606, Home: "US",
+			BaseShare: 0.012, Adoption: 0.12, DCs: []string{"US"}},
+		{Key: "sucuri", Name: "Sucuri", ASN: 30148, Home: "US", Anycast: true,
+			BaseShare: 0.012, Adoption: 0.11, AnycastProb: 0.55, DCs: []string{"US"}},
+		{Key: "automattic", Name: "Automattic", ASN: 2635, Home: "US",
+			BaseShare: 0.011, Adoption: 0.10, DCs: []string{"US", "NL"}},
+		{Key: "linode", Name: "Linode Akamai", ASN: 63949, Home: "US",
+			BaseShare: 0.011, Adoption: 0.09, DCs: []string{"US", "DE", "SG", "JP", "GB", "IN", "AU"}},
+		{Key: "softlayer", Name: "Softlayer", ASN: 36351, Home: "US",
+			BaseShare: 0.010, Adoption: 0.085, DCs: []string{"US", "NL", "DE", "SG", "JP", "AU"}},
+		{Key: "squarespace", Name: "Squarespace", ASN: 53831, Home: "US",
+			BaseShare: 0.010, Adoption: 0.08, DCs: []string{"US"}},
+		{Key: "amazon-legacy", Name: "Amazon Legacy", ASN: 14618, Home: "US",
+			BaseShare: 0.009, Adoption: 0.075, DCs: []string{"US"}},
+		{Key: "servercentral", Name: "Servercentral", ASN: 23352, Home: "US",
+			BaseShare: 0.008, Adoption: 0.065, DCs: []string{"US"}},
+		{Key: "singlehop", Name: "Singlehop", ASN: 32475, Home: "US",
+			BaseShare: 0.008, Adoption: 0.06, DCs: []string{"US", "NL"}},
+		{Key: "inmotion", Name: "Inmotion", ASN: 54641, Home: "US",
+			BaseShare: 0.007, Adoption: 0.055, DCs: []string{"US"}},
+		{Key: "networksolutions", Name: "Network Solutions", ASN: 19871, Home: "US",
+			BaseShare: 0.007, Adoption: 0.05, DCs: []string{"US"}},
+		{Key: "ionos", Name: "Ionos", ASN: 8560, Home: "DE",
+			BaseShare: 0.006, Adoption: 0.045, DCs: []string{"DE", "US", "GB", "ES"}},
+		{Key: "godaddy", Name: "Godaddy", ASN: 26496, Home: "US",
+			BaseShare: 0.006, Adoption: 0.04, DCs: []string{"US", "SG", "NL"}},
+		{Key: "godaddy-emea", Name: "Godaddy EMEA", ASN: 398101, Home: "US",
+			BaseShare: 0.005, Adoption: 0.035, DCs: []string{"US", "NL"}},
+		{Key: "leaseweb", Name: "Leaseweb", ASN: 60781, Home: "NL",
+			BaseShare: 0.005, Adoption: 0.033, DCs: []string{"NL", "DE", "US", "SG", "AU"}},
+		{Key: "voxility", Name: "Voxility", ASN: 3223, Home: "RO",
+			BaseShare: 0.005, Adoption: 0.03, DCs: []string{"RO", "US", "GB", "DE"}},
+	}
+}
+
+// HasDC reports whether the provider operates a unicast data centre in
+// the given country.
+func (p *Provider) HasDC(country string) bool {
+	for _, dc := range p.DCs {
+		if dc == country {
+			return true
+		}
+	}
+	return false
+}

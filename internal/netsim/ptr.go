@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ptrName generates the reverse-DNS name for a host. Router and server
+// operators commonly embed geographic hints — country codes and city
+// abbreviations — which the HOIHO stage of the geolocation pipeline
+// (§3.5 Step #4) extracts with regular expressions. A fraction of
+// hosts publish uninformative or no PTR records, forcing the pipeline
+// through its remaining fallbacks.
+func (n *Net) ptrName(h *Host, r *rand.Rand) string {
+	if h.Anycast {
+		// Anycast PTRs never localise a specific site.
+		if r.Float64() < 0.3 {
+			return fmt.Sprintf("edge-%d.%s.net", r.Intn(900)+100, providerSlug(h.Provider))
+		}
+		return ""
+	}
+	slug := asSlug(h.AS)
+	// Cloud and CDN operators name their reverse zones systematically
+	// (ec2-…-us-east-1.compute.amazonaws.com style), so provider hosts
+	// are almost always informative; other operators less so.
+	informative := 0.70
+	if h.AS.Kind == KindGlobal {
+		informative = 0.92
+	}
+	switch {
+	case r.Float64() < informative:
+		// Informative: "r01.waw3.pl.example.net" style with the ISO
+		// country code as a label.
+		cc := strings.ToLower(h.Country)
+		city := cityAbbrev(cc)
+		return fmt.Sprintf("r%02d.%s%d.%s.%s.net", r.Intn(20)+1, city, r.Intn(4)+1, cc, slug)
+	case r.Float64() < 0.5:
+		return fmt.Sprintf("unassigned-%d-%d.%s.net", r.Intn(250), r.Intn(250), slug)
+	default:
+		return ""
+	}
+}
+
+func asSlug(a *AS) string {
+	s := strings.ToLower(a.Name)
+	s = strings.ReplaceAll(s, "_", "-")
+	return s
+}
+
+// cityAbbrev fabricates a stable three-letter city code for the
+// country's capital, standing in for IATA-style hints.
+func cityAbbrev(cc string) string {
+	if len(cc) < 2 {
+		return "xxx"
+	}
+	return cc + "c"
+}

@@ -1,0 +1,77 @@
+// Package peeringdb models the PeeringDB evidence source of §3.4: a
+// record store keyed by ASN carrying the network name, organization,
+// website and free-text note that the government-network classifier
+// searches for ownership indicators (e.g. AS26810's organization
+// "U.S. Dept. of Health and Human Services").
+package peeringdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one PeeringDB network entry.
+type Record struct {
+	ASN     int
+	Name    string
+	Org     string
+	Website string
+	Note    string
+}
+
+// Store is an in-memory PeeringDB snapshot.
+type Store struct {
+	mu   sync.RWMutex
+	byAS map[int]*Record
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byAS: make(map[int]*Record)} }
+
+// Add registers a record.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := r
+	s.byAS[r.ASN] = &rec
+}
+
+// Get returns the record for an ASN, if present. PeeringDB coverage is
+// partial by design — the classifier must fall back to WHOIS and web
+// search for the rest.
+func (s *Store) Get(asn int) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byAS[asn]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byAS)
+}
+
+// SearchText returns records whose name, org or note contains the
+// query (case-insensitive), sorted by ASN — a convenience mirroring
+// PeeringDB's search box.
+func (s *Store) SearchText(query string) []Record {
+	q := strings.ToLower(query)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.byAS {
+		if strings.Contains(strings.ToLower(r.Name), q) ||
+			strings.Contains(strings.ToLower(r.Org), q) ||
+			strings.Contains(strings.ToLower(r.Note), q) {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}

@@ -1,0 +1,48 @@
+package peeringdb
+
+import "testing"
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{ASN: 26810, Name: "HHS-NET", Org: "U.S. Dept. of Health and Human Services"})
+	s.Add(Record{ASN: 13335, Name: "CLOUDFLARENET", Org: "Cloudflare, Inc."})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	rec, ok := s.Get(26810)
+	if !ok || rec.Org != "U.S. Dept. of Health and Human Services" {
+		t.Fatalf("Get = %+v %v", rec, ok)
+	}
+	if _, ok := s.Get(99999); ok {
+		t.Fatal("missing ASN found")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{ASN: 1, Org: "Original"})
+	rec, _ := s.Get(1)
+	rec.Org = "Mutated"
+	again, _ := s.Get(1)
+	if again.Org != "Original" {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+func TestSearchText(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{ASN: 2, Org: "Ministry of Health of Chile", Note: ""})
+	s.Add(Record{ASN: 3, Org: "NetHost Chile 1", Note: "Commercial"})
+	s.Add(Record{ASN: 1, Org: "Telecom", Note: "State-owned operator"})
+	got := s.SearchText("state-owned")
+	if len(got) != 1 || got[0].ASN != 1 {
+		t.Fatalf("search = %+v", got)
+	}
+	got = s.SearchText("chile")
+	if len(got) != 2 || got[0].ASN != 2 || got[1].ASN != 3 {
+		t.Fatalf("search must be ASN-sorted: %+v", got)
+	}
+	if len(s.SearchText("nomatch-xyz")) != 0 {
+		t.Fatal("bogus query matched")
+	}
+}

@@ -1,0 +1,49 @@
+package probing
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/world"
+)
+
+// hoihoPatterns extract geographic hints from PTR hostnames in the
+// spirit of CAIDA's HOIHO (§3.5 Step #4): learned regexes that pull
+// ISO country codes or city codes out of router and server reverse
+// names, plus the paper's extra operator-specific rules (e.g. NTT).
+var hoihoPatterns = []*regexp.Regexp{
+	// r01.parc1.fr.asname.net — country code as a dedicated label.
+	regexp.MustCompile(`^[a-z0-9-]+\.[a-z0-9-]+\.([a-z]{2})\.[a-z0-9.-]+\.net$`),
+	// edge-12.lhr.uk.example.com — cc label anywhere before the 2LD.
+	regexp.MustCompile(`\.([a-z]{2})\.[a-z0-9-]+\.(?:net|com)$`),
+	// NTT-style: ae-1.r20.parsfr01.fr.bb.gin.ntt.net
+	regexp.MustCompile(`\.([a-z]{2})\.bb\.gin\.ntt\.net$`),
+}
+
+// cityCodePattern matches the synthetic "<cc>c" capital city codes the
+// world model embeds (standing in for IATA hints).
+var cityCodePattern = regexp.MustCompile(`\.([a-z]{2})c\d*\.`)
+
+// HOIHO maps a PTR name to a country code, or "" when the name carries
+// no recognizable hint. Only hints that name a real country in the
+// world model are accepted — random two-letter labels must not
+// geolocate anything.
+func HOIHO(w *world.Model, ptr string) string {
+	ptr = strings.ToLower(strings.TrimSuffix(ptr, "."))
+	if ptr == "" {
+		return ""
+	}
+	for _, re := range hoihoPatterns {
+		if m := re.FindStringSubmatch(ptr); m != nil {
+			if cc := strings.ToUpper(m[1]); w.Country(cc) != nil {
+				return cc
+			}
+		}
+	}
+	if m := cityCodePattern.FindStringSubmatch(ptr); m != nil {
+		if cc := strings.ToUpper(m[1]); w.Country(cc) != nil {
+			return cc
+		}
+	}
+	return ""
+}

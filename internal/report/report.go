@@ -1,0 +1,101 @@
+// Package report renders analysis results as aligned text tables and
+// ASCII bar charts, including the paper-vs-measured layout every
+// experiment in EXPERIMENTS.md uses.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with padded columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a fraction as a fixed-width bar, e.g. "██████····".
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", filled) + strings.Repeat(".", width-filled)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%5.1f%%", v*100) }
+
+// Frac formats a fraction with two decimals, Fig. 2 style.
+func Frac(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// PaperVsMeasured renders one comparison row: a metric name, the value
+// the paper reports, and the value this reproduction measured.
+func PaperVsMeasured(name string, paper, measured string) string {
+	return fmt.Sprintf("  %-46s paper %-12s measured %s", name, paper, measured)
+}
+
+// Section renders a titled block.
+func Section(title, body string) string {
+	var b strings.Builder
+	b.WriteString("== " + title + " ==\n")
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteString("\n")
+	}
+	return b.String()
+}

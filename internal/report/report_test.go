@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"Country", "Share"}}
+	tab.AddRow("UY", "0.98")
+	tab.AddRow("DE", "0.05")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "Country") {
+		t.Fatalf("header missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+	// Columns must be aligned: "UY" padded to the header width.
+	if !strings.HasPrefix(lines[3], "UY     ") {
+		t.Fatalf("padding wrong: %q", lines[3])
+	}
+}
+
+func TestTableWidthFollowsWidestCell(t *testing.T) {
+	tab := &Table{Header: []string{"X"}}
+	tab.AddRow("a-much-longer-cell")
+	out := tab.String()
+	if !strings.Contains(out, "------------------") {
+		t.Fatalf("separator shorter than widest cell:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(0, 4); got != "...." {
+		t.Errorf("Bar(0) = %q", got)
+	}
+	if got := Bar(1, 4); got != "####" {
+		t.Errorf("Bar(1) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar clamps below: %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar clamps above: %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.123); got != " 12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Frac(0.4567); got != "0.46" {
+		t.Errorf("Frac = %q", got)
+	}
+}
+
+func TestPaperVsMeasured(t *testing.T) {
+	line := PaperVsMeasured("third-party URLs", "62%", "61.4%")
+	if !strings.Contains(line, "paper 62%") || !strings.Contains(line, "measured 61.4%") {
+		t.Fatalf("line = %q", line)
+	}
+}
+
+func TestSection(t *testing.T) {
+	out := Section("Fig. 2", "body")
+	if !strings.HasPrefix(out, "== Fig. 2 ==\n") || !strings.HasSuffix(out, "body\n") {
+		t.Fatalf("section = %q", out)
+	}
+}

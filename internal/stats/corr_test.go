@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("inverted correlation = %v", got)
+	}
+	if Pearson(x, []float64{7, 7, 7, 7, 7}) != 0 {
+		t.Error("constant series must correlate zero")
+	}
+	if Pearson(x, []float64{1, 2}) != 0 {
+		t.Error("length mismatch must return 0")
+	}
+}
+
+func TestPearsonNearZeroForIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	if got := Pearson(x, y); math.Abs(got) > 0.05 {
+		t.Errorf("independent correlation = %v", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A monotone nonlinear relationship: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{1, 8, 27, 64, 125, 216}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone Spearman = %v", got)
+	}
+	if got := Pearson(x, y); got >= 1 {
+		t.Errorf("cubic Pearson = %v, want < 1", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package topsites implements the Appendix D methodology for the
+// government-vs-popular-sites comparison: the CrUX-style per-country
+// site lists live in the estate generator; this package contributes
+// the self-hosting heuristic from Kashaf et al. and Kumar et al. that
+// separates sites serving themselves from sites behind third-party
+// providers.
+package topsites
+
+import (
+	"strings"
+)
+
+// TwoLD returns the effective second-level domain (the paper's
+// "2LD+TLD") of a hostname: its last two labels.
+func TwoLD(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(host), ".")
+	parts := strings.Split(host, ".")
+	if len(parts) < 2 {
+		return host
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+// SelfHosted applies the Appendix D heuristic:
+//
+//  1. If the site publishes a CNAME whose 2LD matches the site's own
+//     2LD, it is self-hosted.
+//  2. If the 2LDs differ but the CNAME's 2LD appears in the site
+//     certificate's SAN list, the CNAME target belongs to the same
+//     entity (img.youtube.com style) — still self-hosted.
+//  3. Otherwise (or without a CNAME) the site is not identifiably
+//     self-hosted and falls through to provider classification.
+func SelfHosted(host, cname string, sans []string) bool {
+	if cname == "" {
+		return false
+	}
+	site2LD := TwoLD(host)
+	cname2LD := TwoLD(cname)
+	if cname2LD == site2LD {
+		return true
+	}
+	for _, san := range sans {
+		if TwoLD(san) == cname2LD {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package topsites
+
+import "testing"
+
+func TestTwoLD(t *testing.T) {
+	cases := map[string]string{
+		"www.shop1.cl":      "shop1.cl",
+		"shop1.cl":          "shop1.cl",
+		"a.b.c.example.com": "example.com",
+		"localhost":         "localhost",
+		"WWW.Example.COM.":  "example.com",
+	}
+	for in, want := range cases {
+		if got := TwoLD(in); got != want {
+			t.Errorf("TwoLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSelfHostedByMatching2LD(t *testing.T) {
+	if !SelfHosted("www.shop1.cl", "edge.shop1.cl", nil) {
+		t.Error("matching 2LDs must mean self-hosted")
+	}
+	if SelfHosted("www.shop1.cl", "shop1-cl.cdn.cloudflare.net", nil) {
+		t.Error("provider CNAME must not be self-hosted")
+	}
+}
+
+func TestSelfHostedViaSANList(t *testing.T) {
+	// The img.youtube.com case: different 2LD, but the CNAME's 2LD
+	// appears in the site certificate's SAN list.
+	sans := []string{"www.videotube.cl", "videotube-static.com"}
+	if !SelfHosted("www.videotube.cl", "cdn.videotube-static.com", sans) {
+		t.Error("SAN-listed CNAME 2LD must mean self-hosted")
+	}
+	if SelfHosted("www.videotube.cl", "cdn.unrelated.net", sans) {
+		t.Error("CNAME 2LD outside the SAN list must not be self-hosted")
+	}
+}
+
+func TestSelfHostedWithoutCNAME(t *testing.T) {
+	if SelfHosted("www.shop1.cl", "", []string{"www.shop1.cl"}) {
+		t.Error("no CNAME means the heuristic cannot claim self-hosting")
+	}
+}

@@ -1,0 +1,140 @@
+// Package vantage models the in-country VPN vantage points of §3.2:
+// each Point binds a country, the VPN service that provides it, an
+// egress address inside the country, a vantage-scoped fetcher and the
+// location self-validation the paper applies before trusting a VPN
+// server's claimed country (§4.1, footnote 2).
+package vantage
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/webgen"
+	"repro/internal/webserve"
+	"repro/internal/world"
+)
+
+// Point is one connected vantage.
+type Point struct {
+	Country *world.Country
+	VPN     string
+	Egress  netip.Addr // VPN egress inside the country
+	Fetcher fetch.Fetcher
+}
+
+// Connect establishes a vantage point in the country using its
+// assigned VPN service and an in-memory fetcher over the estate.
+func Connect(c *world.Country, e *webgen.Estate, n *netsim.Net, seed int64) *Point {
+	r := rng.New(seed, "vpn/"+c.Code)
+	egress := n.EgressHostFor(c.Code, r)
+	return &Point{
+		Country: c,
+		VPN:     c.VPN,
+		Egress:  egress.Addr,
+		Fetcher: &webgen.MemFetcher{Estate: e, Vantage: c.Code},
+	}
+}
+
+// ValidateLocation verifies that the VPN egress really sits in the
+// claimed country using the same approach as server geolocation: five
+// in-country probes ping the egress address and the minimum latency
+// must fall below the country's road-distance threshold.
+func (p *Point) ValidateLocation(n *netsim.Net) error {
+	const probes = 5
+	best := -1.0
+	for i := 0; i < probes; i++ {
+		rtt, ok := n.MinPing(p.Country.Code, p.Egress, 3)
+		if !ok {
+			continue
+		}
+		if best < 0 || rtt < best {
+			best = rtt
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("vantage: egress %v unresponsive", p.Egress)
+	}
+	if thr := thresholdMS(p.Country); best > thr {
+		return fmt.Errorf("vantage: egress %v latency %.1fms exceeds %s threshold %.1fms",
+			p.Egress, best, p.Country.Code, thr)
+	}
+	return nil
+}
+
+// thresholdMS mirrors probing.Threshold without importing it (the
+// probing package depends on vantage-free layers only).
+func thresholdMS(c *world.Country) float64 {
+	t := c.RoadThresholdMS() + 1.5
+	if t < 3 {
+		t = 3
+	}
+	return t
+}
+
+// HTTPFetcher fetches through real HTTP against a webserve.Server,
+// directing every hostname to the server's address while preserving
+// the original Host header — the moral equivalent of pointing a
+// browser at a VPN tunnel.
+type HTTPFetcher struct {
+	ServerAddr string // host:port of the webserve server
+	Vantage    string
+	Client     *http.Client
+}
+
+// NewHTTPFetcher builds an HTTPFetcher with a transport that dials the
+// fixed server regardless of target host.
+func NewHTTPFetcher(serverAddr, vantageCountry string) *HTTPFetcher {
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, serverAddr)
+		},
+		MaxIdleConnsPerHost: 16,
+	}
+	return &HTTPFetcher{
+		ServerAddr: serverAddr,
+		Vantage:    vantageCountry,
+		Client:     &http.Client{Transport: transport, Timeout: 30 * time.Second},
+	}
+}
+
+// Fetch implements fetch.Fetcher.
+func (f *HTTPFetcher) Fetch(ctx context.Context, raw string) (*fetch.Response, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	// The synthetic web publishes https URLs; the local server speaks
+	// plain HTTP, so the scheme is rewritten while the Host header
+	// keeps routing to the right site.
+	u.Scheme = "http"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(webserve.VantageHeader, f.Vantage)
+	resp, err := f.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &fetch.Response{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+		BodySize:    int64(len(body)),
+	}, nil
+}

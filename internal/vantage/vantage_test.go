@@ -1,0 +1,60 @@
+package vantage
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/webgen"
+	"repro/internal/world"
+)
+
+func testEnv(t *testing.T) (*world.Model, *netsim.Net, *webgen.Estate) {
+	t.Helper()
+	w := world.New()
+	n := netsim.Build(w, 42)
+	profiles := world.BuildProfiles(w, 42)
+	e := webgen.Build(w, n, profiles, 42, 0.02)
+	return w, n, e
+}
+
+func TestConnectBindsCountry(t *testing.T) {
+	w, n, e := testEnv(t)
+	c := w.MustCountry("PK")
+	vp := Connect(c, e, n, 42)
+	if vp.Country != c || vp.VPN != "Surfshark" {
+		t.Fatalf("vantage = %+v", vp)
+	}
+	if !vp.Egress.IsValid() {
+		t.Fatal("no egress address")
+	}
+	if vp.Fetcher == nil {
+		t.Fatal("no fetcher")
+	}
+}
+
+// TestValidateLocation verifies the §4.1 footnote-2 check: a vantage
+// whose egress really sits in the claimed country passes; the same
+// egress claimed for a distant country fails.
+func TestValidateLocation(t *testing.T) {
+	w, n, e := testEnv(t)
+	c := w.MustCountry("DE")
+	vp := Connect(c, e, n, 42)
+	if err := vp.ValidateLocation(n); err != nil {
+		t.Fatalf("genuine vantage rejected: %v", err)
+	}
+	// A lying VPN: the same German egress claimed to be in Japan.
+	liar := &Point{Country: w.MustCountry("JP"), VPN: vp.VPN, Egress: vp.Egress, Fetcher: vp.Fetcher}
+	if err := liar.ValidateLocation(n); err == nil {
+		t.Fatal("mislocated vantage accepted")
+	}
+}
+
+func TestConnectDeterministicAcrossBuilds(t *testing.T) {
+	w1, n1, e1 := testEnv(t)
+	w2, n2, e2 := testEnv(t)
+	a := Connect(w1.MustCountry("SG"), e1, n1, 42)
+	b := Connect(w2.MustCountry("SG"), e2, n2, 42)
+	if a.Egress != b.Egress {
+		t.Fatal("identical builds must yield the same egress")
+	}
+}

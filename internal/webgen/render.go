@@ -1,0 +1,115 @@
+package webgen
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"repro/internal/fetch"
+)
+
+// RenderHTML produces the HTML body of a document page: a title,
+// anchors and resource tags for every link, and enough filler to
+// approximate the page's nominal size when padded is true.
+func RenderHTML(s *Site, p *Page, padded bool) []byte {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html><head><title>")
+	b.WriteString(s.Host + p.Path)
+	b.WriteString("</title>\n")
+	for _, link := range p.Links {
+		switch {
+		case strings.HasSuffix(link, ".css"):
+			fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", link)
+		case strings.HasSuffix(link, ".woff2"):
+			fmt.Fprintf(&b, "<link rel=\"preload\" as=\"font\" href=\"%s\">\n", link)
+		}
+	}
+	b.WriteString("</head>\n<body>\n")
+	for _, link := range p.Links {
+		switch {
+		case strings.HasSuffix(link, ".js"):
+			fmt.Fprintf(&b, "<script src=\"%s\"></script>\n", link)
+		case strings.HasSuffix(link, ".png"), strings.HasSuffix(link, ".jpg"), strings.HasSuffix(link, ".svg"):
+			fmt.Fprintf(&b, "<img src=\"%s\" alt=\"\">\n", link)
+		case strings.HasSuffix(link, ".css"), strings.HasSuffix(link, ".woff2"):
+			// already emitted in head
+		default:
+			fmt.Fprintf(&b, "<a href=\"%s\">%s</a>\n", link, link)
+		}
+	}
+	b.WriteString("</body></html>\n")
+	out := []byte(b.String())
+	if padded && int64(len(out)) < p.Size {
+		pad := make([]byte, p.Size-int64(len(out)))
+		fill := []byte("<!-- synthetic government content padding -->\n")
+		for i := range pad {
+			pad[i] = fill[i%len(fill)]
+		}
+		out = append(out, pad...)
+	}
+	return out
+}
+
+// RenderResource produces the body of a non-HTML resource.
+func RenderResource(p *Page, padded bool) []byte {
+	header := []byte("/* synthetic resource " + p.Path + " */\n")
+	if !padded || int64(len(header)) >= p.Size {
+		return header
+	}
+	out := make([]byte, p.Size)
+	copy(out, header)
+	for i := len(header); i < len(out); i++ {
+		out[i] = byte('a' + i%23)
+	}
+	return out
+}
+
+// MemFetcher serves the estate directly from memory for a fixed
+// vantage country. It reproduces the observable behaviours of the real
+// server — geo-blocking, 404s for unknown paths, DNS-style failures
+// for unknown hosts — without paying for padding bytes.
+type MemFetcher struct {
+	Estate  *Estate
+	Vantage string
+}
+
+// Fetch implements fetch.Fetcher.
+func (m *MemFetcher) Fetch(ctx context.Context, raw string) (*fetch.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("webgen: bad url %q: %w", raw, err)
+	}
+	site := m.Estate.Site(u.Hostname())
+	if site == nil {
+		return nil, fmt.Errorf("webgen: no such host %q", u.Hostname())
+	}
+	if site.GeoBlocked && site.Country != m.Vantage {
+		return &fetch.Response{Status: 403, ContentType: "text/html",
+			Body: []byte("<html><body>Access restricted to domestic visitors</body></html>")}, nil
+	}
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	page := site.Pages[path]
+	if page == nil {
+		return &fetch.Response{Status: 404, ContentType: "text/html",
+			Body: []byte("<html><body>Not found</body></html>")}, nil
+	}
+	var body []byte
+	if page.ContentType == "text/html" {
+		body = RenderHTML(site, page, false)
+	} else {
+		body = RenderResource(page, false)
+	}
+	return &fetch.Response{
+		Status:      200,
+		ContentType: page.ContentType,
+		Body:        body,
+		BodySize:    page.Size,
+	}, nil
+}

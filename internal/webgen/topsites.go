@@ -1,0 +1,203 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/netsim"
+
+	"repro/internal/rng"
+	"repro/internal/tlssim"
+	"repro/internal/world"
+)
+
+// ComparisonCountries is the 14-country subset of Table 6: two per
+// region, chosen for contrasting digital development.
+var ComparisonCountries = []string{
+	"CA", "US", // NA
+	"MX", "BR", // LAC
+	"FR", "BA", // ECA
+	"AE", "IL", // MENA
+	"ZA", "EG", // SSA
+	"IN", "PK", // SA
+	"JP", "NZ", // EAP
+}
+
+// globalBrands are worldwide popular sites that appear in every
+// country's CrUX-style list; they self-host on their own foreign
+// infrastructure, which is why top-site "self-hosting" does not imply
+// domestic hosting (Figs. 3 and 7).
+var globalBrands = []string{
+	"SearchCo", "VideoTube", "SocialBook", "ShopAll", "StreamFlix",
+	"WikiKnow", "MicroBlog", "PicShare", "ChatApp", "MailBox",
+}
+
+// topsiteSectors name domestic popular sites.
+var topsiteSectors = []string{
+	"news", "bank", "shop", "sports", "weather", "jobs", "travel",
+	"classifieds", "tv", "forum", "auto", "food", "realestate", "music",
+}
+
+// buildTopsites creates per-country popular-site estates for the
+// Appendix D comparison. Hosting parameters are calibrated so the
+// measured shares reproduce Fig. 3 (self 0.18, global 0.78, local
+// 0.03, regional 0.01 by URLs) and Fig. 7 (11 % domestic registration,
+// 49 % domestic serving).
+func (g *generator) buildTopsites() {
+	for _, code := range ComparisonCountries {
+		c := g.w.MustCountry(code)
+		r := rng.New(g.seed, "topsites/"+code)
+		n := scaleCount(50, g.e.Scale, 10)
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.45 {
+				g.buildGlobalBrandSite(c, i, r)
+			} else {
+				g.buildDomesticTopsite(c, i, r)
+			}
+		}
+	}
+}
+
+func (g *generator) buildGlobalBrandSite(c *world.Country, i int, r *rand.Rand) {
+	brand := globalBrands[i%len(globalBrands)]
+	host := fmt.Sprintf("www.%s.%s", strings.ToLower(brand), c.CCTLD)
+	if g.e.Sites[host] != nil {
+		host = fmt.Sprintf("www.%s%d.%s", strings.ToLower(brand), i, c.CCTLD)
+	}
+	site := &Site{Host: host, Country: c.Code, Kind: KindTopsite, byteBoost: 1}
+	twoLD := topsite2LD(host)
+	if r.Float64() < 0.42 {
+		// Self-hosted on the brand's own AS. 40 % of the time a local
+		// edge answers in-country; otherwise a US origin does.
+		as := g.net.CorpAS(brand, "US")
+		loc := "US"
+		if r.Float64() < 0.52 {
+			loc = c.Code
+		}
+		site.Endpoint = g.net.CorpHostAt(as, loc, r)
+		if r.Float64() < 0.10 {
+			// SAN-private case: CNAME to a different 2LD that appears
+			// in the certificate's SAN list (img.youtube.com style).
+			site.CNAME = "cdn." + strings.ToLower(brand) + "-static.com"
+		} else {
+			site.CNAME = "edge." + twoLD
+		}
+	} else {
+		p := g.pickTopsiteProvider(r)
+		loc := "US"
+		if r.Float64() < 0.50 && (p.HasDC(c.Code) || p.Anycast) {
+			loc = c.Code
+		}
+		if p.Anycast && loc == c.Code {
+			site.Endpoint = g.net.ProviderHostFor(p, c.Code, r)
+			site.TruthServeCountry = g.net.AnycastSiteFor(p.Key, c.Code)
+		} else {
+			site.Endpoint = g.net.ProviderHostAt(p, loc, r)
+		}
+		site.CNAME = strings.ToLower(brand) + "." + providerCNAMEDomain(p.Key)
+	}
+	if site.TruthServeCountry == "" {
+		site.TruthServeCountry = site.Endpoint.Country
+	}
+	g.finishTopsite(site, twoLD, r)
+}
+
+func (g *generator) buildDomesticTopsite(c *world.Country, i int, r *rand.Rand) {
+	sector := topsiteSectors[i%len(topsiteSectors)]
+	host := fmt.Sprintf("www.%s%d.%s", sector, i/len(topsiteSectors)+1, c.CCTLD)
+	if g.e.Sites[host] != nil {
+		host = fmt.Sprintf("www.%s-%d.%s", sector, i, c.CCTLD)
+	}
+	site := &Site{Host: host, Country: c.Code, Kind: KindTopsite, byteBoost: 1}
+	twoLD := topsite2LD(host)
+	x := r.Float64()
+	switch {
+	case x < 0.07: // on-premises self-hosting
+		as := g.net.CorpAS(titleCase(sector)+" "+c.Name, c.Code)
+		site.Endpoint = g.net.CorpHostAt(as, c.Code, r)
+		site.CNAME = "origin." + twoLD
+	case x < 0.13: // domestic commercial hoster
+		site.Endpoint = g.net.LocalHostFor(c.Code, r)
+	case x < 0.15: // regional hoster
+		site.Endpoint = g.net.RegionalHostFor(c, r)
+	default: // global provider
+		p := g.pickTopsiteProvider(r)
+		loc := "US"
+		if r.Float64() < 0.62 {
+			if p.Anycast || p.HasDC(c.Code) {
+				loc = c.Code
+			}
+		}
+		if p.Anycast {
+			site.Endpoint = g.net.ProviderHostFor(p, c.Code, r)
+			site.TruthServeCountry = g.net.AnycastSiteFor(p.Key, c.Code)
+		} else {
+			site.Endpoint = g.net.ProviderHostAt(p, loc, r)
+		}
+		site.CNAME = sector + "-" + strings.ToLower(c.Code) + "." + providerCNAMEDomain(p.Key)
+	}
+	if site.TruthServeCountry == "" {
+		site.TruthServeCountry = site.Endpoint.Country
+	}
+	g.finishTopsite(site, twoLD, r)
+}
+
+func (g *generator) pickTopsiteProvider(r *rand.Rand) *netsim.Provider {
+	ws := make([]float64, len(g.net.Providers))
+	for i, p := range g.net.Providers {
+		ws[i] = p.BaseShare
+	}
+	return g.net.Providers[rng.Pick(r, ws)]
+}
+
+func (g *generator) finishTopsite(site *Site, twoLD string, r *rand.Rand) {
+	c := g.w.MustCountry(site.Country)
+	site.TruthCategory = truthCategory(c, site.Endpoint)
+	root := &Page{Path: "/", Depth: 0, ContentType: "text/html",
+		Size: sizeFor(site, "text/html", 90_000, r)}
+	site.Pages = map[string]*Page{"/": root}
+	site.Landing = []string{site.URL("/")}
+	// Top-site crawls stop one level below the landing page (§5.1).
+	n := 5 + r.Intn(8)
+	for k := 0; k < n; k++ {
+		re := resourceExts[r.Intn(len(resourceExts))]
+		path := fmt.Sprintf("/asset-%d.%s", k, re.ext)
+		site.Pages[path] = &Page{Path: path, Depth: 1, ContentType: re.ct,
+			Size: sizeFor(site, re.ct, re.size, r)}
+		root.Links = append(root.Links, site.URL(path))
+	}
+	site.HTTPSValid = r.Float64() < 0.97 // commercial sites rarely ship broken TLS
+	cert := &tlssim.Certificate{Subject: site.Host,
+		SANs: []string{site.Host, twoLD}, Issuer: "WebTrust CA",
+		Valid: site.HTTPSValid}
+	if site.CNAME != "" && !strings.HasSuffix(site.CNAME, twoLD) && strings.Contains(site.CNAME, "-static.com") {
+		cert.SANs = append(cert.SANs, topsite2LD(site.CNAME))
+	}
+	site.Cert = cert
+	g.e.Certs.Put(cert)
+	g.e.addSite(site)
+}
+
+// topsite2LD returns the effective second-level domain (2LD+TLD in the
+// paper's terminology) of a hostname.
+func topsite2LD(host string) string {
+	parts := strings.Split(host, ".")
+	if len(parts) < 2 {
+		return host
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+// providerCNAMEDomain is the provider-owned domain CNAME targets live
+// under, e.g. shop-cl.cdn.cloudflare.net.
+func providerCNAMEDomain(key string) string {
+	return "cdn." + strings.ReplaceAll(key, "-", "") + ".net"
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

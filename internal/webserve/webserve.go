@@ -1,0 +1,149 @@
+// Package webserve serves the synthetic estate over real HTTP. One
+// server multiplexes every hostname via the Host header, enforces
+// geo-blocking against the declared vantage country, and streams
+// byte-accurate bodies — integration tests and examples crawl it with
+// net/http exactly as the paper's harness crawled the live web.
+package webserve
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/tlssim"
+	"repro/internal/webgen"
+)
+
+// VantageHeader carries the crawler's vantage country; the VPN egress
+// country in the real study. Geo-blocked sites compare it to their own
+// country.
+const VantageHeader = "X-Vantage-Country"
+
+// Server serves an estate.
+type Server struct {
+	Estate *webgen.Estate
+
+	httpSrv  *http.Server
+	tlsSrv   *http.Server
+	listener net.Listener
+
+	certMu    sync.Mutex
+	certCache map[string]*tls.Certificate
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// StartTLS additionally serves the estate over TLS with per-site
+// certificates selected by SNI, materialised on demand from the
+// estate's certificate records. The §3.3 SAN-inspection step can then
+// run against real handshakes. Returns the bound TLS address.
+func (s *Server) StartTLS(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	cfg := &tls.Config{GetCertificate: s.certificateFor}
+	s.tlsSrv = &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go s.tlsSrv.Serve(tls.NewListener(ln, cfg))
+	return ln.Addr().String(), nil
+}
+
+// certificateFor self-signs (and caches) the estate certificate for
+// the requested server name.
+func (s *Server) certificateFor(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+	name := hello.ServerName
+	if name == "" {
+		return nil, fmt.Errorf("webserve: TLS connection without SNI")
+	}
+	s.certMu.Lock()
+	defer s.certMu.Unlock()
+	if s.certCache == nil {
+		s.certCache = map[string]*tls.Certificate{}
+	}
+	if c, ok := s.certCache[name]; ok {
+		return c, nil
+	}
+	rec := s.Estate.Certs.Get(name)
+	if rec == nil {
+		return nil, fmt.Errorf("webserve: no certificate for %q", name)
+	}
+	cert, err := tlssim.SelfSign(rec, time.Now().Add(-time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	s.certCache[name] = &cert
+	return &cert, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if s.tlsSrv != nil {
+		s.tlsSrv.Shutdown(ctx)
+	}
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, err := net.SplitHostPort(r.Host); err == nil {
+		host = h
+	}
+	site := s.Estate.Site(host)
+	if site == nil {
+		http.Error(w, fmt.Sprintf("unknown host %q", host), http.StatusBadGateway)
+		return
+	}
+	vantage := r.Header.Get(VantageHeader)
+	if site.GeoBlocked && vantage != site.Country {
+		http.Error(w, "access restricted to domestic visitors", http.StatusForbidden)
+		return
+	}
+	path := r.URL.Path
+	if path == "" {
+		path = "/"
+	}
+	page := site.Pages[path]
+	if page == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var body []byte
+	if page.ContentType == "text/html" {
+		body = webgen.RenderHTML(site, page, true)
+	} else {
+		body = webgen.RenderResource(page, true)
+	}
+	w.Header().Set("Content-Type", page.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("X-Served-By", site.Endpoint.Addr.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}

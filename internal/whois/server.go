@@ -1,0 +1,119 @@
+package whois
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server answers RFC 3912 WHOIS queries over TCP: one query line,
+// one text response, connection closed by the server.
+type Server struct {
+	DB *DB
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	shutdown bool
+}
+
+// Start listens on addr and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.shutdown
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			line, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil && line == "" {
+				return
+			}
+			query := strings.TrimSpace(line)
+			addr, err := netip.ParseAddr(query)
+			if err != nil {
+				fmt.Fprintf(conn, "%% Invalid query %q\r\n", query)
+				return
+			}
+			rec, ok := s.DB.Lookup(addr)
+			if !ok {
+				fmt.Fprintf(conn, "%% No match for %s\r\n", addr)
+				return
+			}
+			fmt.Fprint(conn, Render(rec))
+		}(conn)
+	}
+}
+
+// Query performs one WHOIS lookup against the server at addr.
+func Query(ctx context.Context, server string, addr netip.Addr) (Record, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return Record{}, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+	}
+	if _, err := fmt.Fprintf(conn, "%s\r\n", addr); err != nil {
+		return Record{}, err
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	text := sb.String()
+	if strings.HasPrefix(text, "%") {
+		return Record{}, fmt.Errorf("whois: %s", strings.TrimSpace(strings.TrimPrefix(text, "%")))
+	}
+	return Parse(text)
+}

@@ -1,0 +1,169 @@
+package whois
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Prefix:     netip.MustParsePrefix("16.12.0.0/16"),
+		NetName:    "UY-GOV-FINANCE",
+		ASN:        210042,
+		Org:        "Ministry of Finance of Uruguay",
+		Country:    "UY",
+		Email:      "noc@gub.uy",
+		PeeringURL: "https://www.finance.gub.uy",
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	got, err := Parse(Render(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Org != r.Org || got.Country != r.Country || got.ASN != r.ASN ||
+		got.Email != r.Email || got.NetName != r.NetName || got.Prefix != r.Prefix {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	text := Render(sampleRecord())
+	for _, want := range []string{
+		"inetnum:        16.12.0.0 - 16.12.255.255",
+		"org-name:       Ministry of Finance of Uruguay",
+		"country:        UY",
+		"origin-as:      AS210042",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered WHOIS missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseToleratesUnknownFields(t *testing.T) {
+	text := "inetnum: 16.0.0.0 - 16.0.255.255\nweird-key: value\nno colon line is fine too maybe\norg-name: X Corp\ncountry: DE\norigin-as: AS1\n"
+	rec, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Org != "X Corp" || rec.Country != "DE" {
+		t.Fatalf("parse = %+v", rec)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse("% nothing here\n"); err == nil {
+		t.Fatal("empty response accepted")
+	}
+}
+
+func TestParseRangeQuick(t *testing.T) {
+	f := func(a, b byte, bitsRaw uint8) bool {
+		bits := 8 + int(bitsRaw%17) // /8 .. /24
+		p, err := netip.AddrFrom4([4]byte{a, b, 0, 0}).Prefix(bits)
+		if err != nil {
+			return false
+		}
+		rendered := Render(Record{Prefix: p, ASN: 1, Org: "x", Country: "ZZ", NetName: "N"})
+		got, err := Parse(rendered)
+		return err == nil && got.Prefix == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBLongestPrefixLookup(t *testing.T) {
+	db := NewDB()
+	db.Add(Record{Prefix: netip.MustParsePrefix("16.0.0.0/8"), Org: "Big", ASN: 1, Country: "US"})
+	db.Add(Record{Prefix: netip.MustParsePrefix("16.12.0.0/16"), Org: "Specific", ASN: 2, Country: "UY"})
+	db.Sort()
+	rec, ok := db.Lookup(netip.MustParseAddr("16.12.1.1"))
+	if !ok || rec.Org != "Specific" {
+		t.Fatalf("lookup = %+v, want the /16", rec)
+	}
+	rec, ok = db.Lookup(netip.MustParseAddr("16.200.0.1"))
+	if !ok || rec.Org != "Big" {
+		t.Fatalf("lookup = %+v, want the /8", rec)
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("99.0.0.1")); ok {
+		t.Fatal("lookup outside all prefixes must miss")
+	}
+}
+
+// TestServerRFC3912 exercises the text protocol over a real TCP
+// socket: one query line, one response, close.
+func TestServerRFC3912(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleRecord())
+	db.Sort()
+	srv := &Server{DB: db}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	rec, err := Query(ctx, addr, netip.MustParseAddr("16.12.34.56"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Org != "Ministry of Finance of Uruguay" || rec.Country != "UY" {
+		t.Fatalf("query = %+v", rec)
+	}
+
+	if _, err := Query(ctx, addr, netip.MustParseAddr("99.99.99.99")); err == nil {
+		t.Fatal("no-match query must error")
+	}
+}
+
+func TestServerConcurrentQueries(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleRecord())
+	db.Sort()
+	srv := &Server{DB: db}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := Query(ctx, addr, netip.MustParseAddr("16.12.0.1"))
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLastAddr(t *testing.T) {
+	cases := map[string]string{
+		"16.12.0.0/16": "16.12.255.255",
+		"10.0.0.0/8":   "10.255.255.255",
+		"1.2.3.4/32":   "1.2.3.4",
+	}
+	for in, want := range cases {
+		got := lastAddr(netip.MustParsePrefix(in))
+		if got.String() != want {
+			t.Errorf("lastAddr(%s) = %s, want %s", in, got, want)
+		}
+	}
+}

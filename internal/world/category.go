@@ -1,0 +1,71 @@
+package world
+
+// Category is a hosting-provider category (§5.1): on-premises
+// government or state-owned-enterprise infrastructure, or one of the
+// three third-party classes.
+type Category int
+
+// The four provider categories of the paper.
+const (
+	CatGovtSOE    Category = iota // Government & State-Owned Enterprises (on-premises)
+	Cat3PLocal                    // third party registered in the served country
+	Cat3PGlobal                   // third party serving governments across multiple continents
+	Cat3PRegional                 // foreign third party confined to one continent
+	NumCategories
+)
+
+// Categories lists all categories in canonical order.
+var Categories = []Category{CatGovtSOE, Cat3PLocal, Cat3PGlobal, Cat3PRegional}
+
+func (c Category) String() string {
+	switch c {
+	case CatGovtSOE:
+		return "Govt&SOE"
+	case Cat3PLocal:
+		return "3P Local"
+	case Cat3PGlobal:
+		return "3P Global"
+	case Cat3PRegional:
+		return "3P Regional"
+	}
+	return "unknown"
+}
+
+// Mix is a probability vector over the four categories.
+type Mix [NumCategories]float64
+
+// Normalize scales the mix in place so it sums to 1 (no-op for a zero
+// mix) and returns it.
+func (m Mix) Normalize() Mix {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	if sum <= 0 {
+		return m
+	}
+	for i := range m {
+		m[i] /= sum
+	}
+	return m
+}
+
+// Dominant returns the category with the largest share.
+func (m Mix) Dominant() Category {
+	best := CatGovtSOE
+	for _, c := range Categories {
+		if m[c] > m[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Blend returns a*w + b*(1-w), elementwise.
+func Blend(a, b Mix, w float64) Mix {
+	var out Mix
+	for i := range out {
+		out[i] = a[i]*w + b[i]*(1-w)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package world
+
+// Country describes one country in the study panel (Table 9) together
+// with the dataset statistics the paper reports for it (Table 8) and
+// the development indices used by the explanatory model (Appendix E).
+//
+// Countries with Landing == 0 (e.g. South Korea) are part of the panel
+// but contributed no crawled URLs in the paper; the generator honours
+// that. HostOnly countries are not in the 61-country panel at all but
+// appear as server locations (the paper observes servers in 68
+// countries, §4.2).
+type Country struct {
+	Code   string // ISO 3166-1 alpha-2
+	Name   string
+	Region Region
+
+	// Panel indices (Table 9).
+	EGDI        float64 // UN E-Government Development Index, 0..1 (0 when unknown)
+	HDI         float64 // Human Development Index, 0..1
+	IUI         float64 // Internet penetration, percent of population
+	PctWorldPop float64 // share of the world's Internet population, percent
+	VPN         string  // VPN service used to reach the country
+
+	// Dataset statistics (Table 8): the generator scales its synthetic
+	// estate to these counts.
+	Landing      int // landing URLs
+	InternalURLs int // internal URLs collected to depth 7
+	Hostnames    int // unique government hostnames
+
+	// Explanatory covariates (Appendix E), approximate public values.
+	IDI          float64 // ICT Development Index, 0..10
+	EFI          float64 // Heritage Economic Freedom Index, 0..100
+	GDPpc        float64 // GDP per capita, USD
+	NRI          float64 // Network Readiness Index, 0..100
+	UsersMillion float64 // Internet users, millions
+
+	// Geography.
+	Lat, Lon  float64 // capital
+	MaxRoadKM float64 // intercity road distance between the two furthest cities (§3.5)
+
+	// Naming conventions.
+	CCTLD     string   // country-code TLD, e.g. "de"
+	GovSuffix []string // government domain suffixes in order of prevalence, e.g. {"gov.uk"}; empty when the country has no gov TLD convention
+	// NonGovTLDShare is the fraction of the government estate's
+	// hostnames that do NOT live under a government TLD (ministry
+	// vanity domains, SOEs, etc.). Drives the Table 1 method yields.
+	NonGovTLDShare float64
+
+	EU       bool // EU member (GDPR scope, §6.3)
+	HostOnly bool // server location only; not part of the 61-country panel
+}
+
+// Study reports whether the country is part of the 61-country panel.
+func (c *Country) Study() bool { return !c.HostOnly }

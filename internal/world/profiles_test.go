@@ -1,0 +1,223 @@
+package world
+
+import (
+	"math"
+	"testing"
+)
+
+func buildTestProfiles(t *testing.T) (*Model, map[string]*Profile) {
+	t.Helper()
+	m := New()
+	return m, BuildProfiles(m, 42)
+}
+
+func TestProfilesCoverPanel(t *testing.T) {
+	m, profs := buildTestProfiles(t)
+	for _, c := range m.Panel() {
+		p := profs[c.Code]
+		if p == nil {
+			t.Fatalf("no profile for %s", c.Code)
+		}
+		var sumU, sumB float64
+		for i := range p.MixURLs {
+			if p.MixURLs[i] < 0 || p.MixBytes[i] < 0 {
+				t.Fatalf("%s: negative mix entry %v %v", c.Code, p.MixURLs, p.MixBytes)
+			}
+			sumU += p.MixURLs[i]
+			sumB += p.MixBytes[i]
+		}
+		if math.Abs(sumU-1) > 1e-6 || math.Abs(sumB-1) > 1e-6 {
+			t.Fatalf("%s: mixes not normalized (%.4f, %.4f)", c.Code, sumU, sumB)
+		}
+		if p.IntlServe < 0 || p.IntlServe > 0.9 {
+			t.Fatalf("%s: implausible IntlServe %.3f", c.Code, p.IntlServe)
+		}
+		if len(p.IntlDest) == 0 {
+			t.Fatalf("%s: no international destinations", c.Code)
+		}
+		for _, d := range p.IntlDest {
+			if m.Country(d.Code) == nil {
+				t.Fatalf("%s: unknown destination %s", c.Code, d.Code)
+			}
+			if d.Weight <= 0 {
+				t.Fatalf("%s: non-positive destination weight %v", c.Code, d)
+			}
+		}
+	}
+}
+
+func TestProfilesDeterministic(t *testing.T) {
+	m := New()
+	a := BuildProfiles(m, 42)
+	b := BuildProfiles(m, 42)
+	for code, pa := range a {
+		pb := b[code]
+		if pa.MixURLs != pb.MixURLs || pa.MixBytes != pb.MixBytes || pa.IntlServe != pb.IntlServe {
+			t.Fatalf("profiles for %s differ across identical builds", code)
+		}
+	}
+}
+
+func TestDominantCategoriesPreserved(t *testing.T) {
+	_, profs := buildTestProfiles(t)
+	// The Fig. 5 dendrogram branch membership must survive calibration.
+	for code, want := range dominantByCountry {
+		p := profs[code]
+		if p == nil {
+			continue
+		}
+		if got := p.MixURLs.Dominant(); got != want {
+			t.Errorf("%s: dominant = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestCalibratedGlobalAggregate(t *testing.T) {
+	m, profs := buildTestProfiles(t)
+	var agg Mix
+	var wsum float64
+	for _, c := range m.Panel() {
+		p := profs[c.Code]
+		if p == nil || c.InternalURLs == 0 {
+			continue
+		}
+		w := float64(c.InternalURLs)
+		eff := EffectiveMixFor(c, p)
+		for i := range agg {
+			agg[i] += w * eff[i]
+		}
+		wsum += w
+	}
+	for i := range agg {
+		agg[i] /= wsum
+	}
+	// The effective aggregate should approximate Fig. 2 (0.39, 0.34,
+	// 0.25, 0.03); the regional fitting pass is allowed some drift.
+	if math.Abs(agg[CatGovtSOE]-0.39) > 0.08 {
+		t.Errorf("Govt&SOE aggregate %.3f too far from 0.39", agg[CatGovtSOE])
+	}
+	if math.Abs(agg[Cat3PLocal]-0.34) > 0.08 {
+		t.Errorf("3P Local aggregate %.3f too far from 0.34", agg[Cat3PLocal])
+	}
+	if math.Abs(agg[Cat3PGlobal]-0.25) > 0.08 {
+		t.Errorf("3P Global aggregate %.3f too far from 0.25", agg[Cat3PGlobal])
+	}
+	if agg[Cat3PRegional] > 0.08 {
+		t.Errorf("3P Regional aggregate %.3f too large", agg[Cat3PRegional])
+	}
+}
+
+func TestPaperPinnedProfiles(t *testing.T) {
+	_, profs := buildTestProfiles(t)
+	cases := []struct {
+		code string
+		cat  Category
+		min  float64
+		byB  bool
+	}{
+		{"UY", CatGovtSOE, 0.9, true},  // Uruguay: 98 % Govt&SOE bytes
+		{"IT", Cat3PLocal, 0.85, true}, // Italy: 93 % 3P Local
+		{"AR", Cat3PGlobal, 0.8, true}, // Argentina: ~90 % third-party global
+		{"IN", CatGovtSOE, 0.8, false}, // India: strong government preference
+	}
+	for _, tc := range cases {
+		p := profs[tc.code]
+		mix := p.MixURLs
+		if tc.byB {
+			mix = p.MixBytes
+		}
+		if mix[tc.cat] < tc.min {
+			t.Errorf("%s: %v share %.2f, want ≥ %.2f", tc.code, tc.cat, mix[tc.cat], tc.min)
+		}
+	}
+}
+
+func TestBilateralDestinations(t *testing.T) {
+	_, profs := buildTestProfiles(t)
+	// Mexico leans on the US, China on Japan, New Zealand on Australia.
+	checks := map[string]string{"MX": "US", "CN": "JP", "NZ": "AU"}
+	for src, wantDst := range checks {
+		p := profs[src]
+		top, topW := "", 0.0
+		for _, d := range p.IntlDest {
+			if d.Weight > topW {
+				top, topW = d.Code, d.Weight
+			}
+		}
+		if top != wantDst {
+			t.Errorf("%s: top destination %s, want %s", src, top, wantDst)
+		}
+	}
+}
+
+func TestIntlServeOverrides(t *testing.T) {
+	_, profs := buildTestProfiles(t)
+	if p := profs["IN"]; p.IntlServe > 0.02 {
+		t.Errorf("India should serve ≈99.3%% domestically, IntlServe=%.3f", p.IntlServe)
+	}
+	if p := profs["MX"]; p.IntlServe < 0.5 {
+		t.Errorf("Mexico serves most URLs from the US, IntlServe=%.3f", p.IntlServe)
+	}
+	if profs["MX"].IntlServe <= profs["BR"].IntlServe {
+		t.Error("Mexico must rely on foreign servers far more than Brazil (LGPD)")
+	}
+}
+
+func TestCovariateAdjDirection(t *testing.T) {
+	m := New()
+	// Higher network readiness must reduce the multiplier: compare two
+	// countries that differ mainly in NRI/GDP.
+	hi := covariateAdj(m, m.MustCountry("PK")) // low NRI, low GDP, many users
+	lo := covariateAdj(m, m.MustCountry("CH")) // high NRI, high GDP, few users
+	if hi <= lo {
+		t.Fatalf("covariate mechanism inverted: PK=%.2f CH=%.2f", hi, lo)
+	}
+}
+
+func TestEffectiveMixFranceCarveOut(t *testing.T) {
+	m, profs := buildTestProfiles(t)
+	fr := m.MustCountry("FR")
+	eff := EffectiveMixFor(fr, profs["FR"])
+	// gouv.nc adds ≈18.5 % Govt&SOE on top of the domestic mix.
+	if eff[CatGovtSOE] < profs["FR"].MixURLs[CatGovtSOE] {
+		t.Fatal("France's effective Govt&SOE share must include the gouv.nc carve-out")
+	}
+}
+
+func TestApplyTrendShiftsTowardGlobal(t *testing.T) {
+	m, profs := buildTestProfiles(t)
+	before := map[string]Mix{}
+	for code, p := range profs {
+		before[code] = p.MixURLs
+	}
+	ApplyTrend(profs, 5)
+	for _, c := range m.Panel() {
+		p := profs[c.Code]
+		if p == nil {
+			continue
+		}
+		b := before[c.Code]
+		if p.MixURLs[Cat3PGlobal]+1e-9 < b[Cat3PGlobal] {
+			t.Fatalf("%s: Global share fell under the consolidation trend", c.Code)
+		}
+		if p.MixURLs[CatGovtSOE] > b[CatGovtSOE]+1e-9 {
+			t.Fatalf("%s: Govt&SOE share rose under the trend", c.Code)
+		}
+		var sum float64
+		for _, v := range p.MixURLs {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: trend denormalized the mix", c.Code)
+		}
+	}
+}
+
+func TestApplyTrendZeroYearsNoop(t *testing.T) {
+	_, profs := buildTestProfiles(t)
+	before := profs["DE"].MixURLs
+	ApplyTrend(profs, 0)
+	if profs["DE"].MixURLs != before {
+		t.Fatal("zero years must not change profiles")
+	}
+}
