@@ -52,6 +52,30 @@ func BenchmarkStudyPipeline(b *testing.B) {
 	}
 }
 
+func BenchmarkStudyPipelineSplitBudget(b *testing.B) {
+	// The same run with the scheduler knobs split explicitly: few
+	// countries in flight, a wider shared fetch/annotate pool. Total
+	// goroutine count is 4 + 16 either way — the budget, not its
+	// square.
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Scale: 0.02, CountryConcurrency: 4, FetchConcurrency: 16}
+		if _, err := Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyPipelineCapped(b *testing.B) {
+	// A capped crawl exercises the deterministic frontier admission
+	// path on every level.
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Scale: 0.02, MaxURLsPerCrawl: 50, SkipTopsites: true}
+		if _, err := Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig1MajorityMap(b *testing.B) {
 	s := benchStudy(b)
 	b.ResetTimer()

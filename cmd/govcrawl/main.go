@@ -26,12 +26,14 @@ import (
 
 func main() {
 	var (
-		country  = flag.String("country", "UY", "ISO code of the country to crawl")
-		scale    = flag.Float64("scale", 0.05, "estate scale")
-		seed     = flag.Int64("seed", 42, "study seed")
-		depth    = flag.Int("depth", 7, "crawl depth")
-		out      = flag.String("o", "", "output HAR JSON path (default stdout)")
-		dumpZone = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
+		country     = flag.String("country", "UY", "ISO code of the country to crawl")
+		scale       = flag.Float64("scale", 0.05, "estate scale")
+		seed        = flag.Int64("seed", 42, "study seed")
+		depth       = flag.Int("depth", 7, "crawl depth")
+		concurrency = flag.Int("concurrency", 16, "bounded fetch worker pool size")
+		maxURLs     = flag.Int("max-urls", 0, "cap on distinct URLs admitted, deterministically (default: unlimited)")
+		out         = flag.String("o", "", "output HAR JSON path (default stdout)")
+		dumpZone    = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
 	)
 	flag.Parse()
 
@@ -93,7 +95,7 @@ func main() {
 	cr := &crawler.Crawler{
 		Fetcher: fetcher,
 		Config: crawler.Config{
-			MaxDepth: *depth, Concurrency: 16,
+			MaxDepth: *depth, Concurrency: *concurrency, MaxURLs: *maxURLs,
 			Country: c.Code, VPN: c.VPN,
 		},
 	}

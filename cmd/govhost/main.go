@@ -27,7 +27,10 @@ func main() {
 		countries   = flag.String("countries", "", "comma-separated ISO codes to restrict the panel (default: all 61)")
 		exps        = flag.String("exp", "findings", "comma-separated experiment IDs, or 'all' / 'list'")
 		depth       = flag.Int("depth", 0, "crawl depth override (default: the paper's 7)")
-		concurrency = flag.Int("concurrency", 0, "parallel crawls (default: 8)")
+		concurrency = flag.Int("concurrency", 0, "combined parallelism budget; seeds -country-concurrency and -fetch-concurrency when those are unset (default: 8)")
+		countryConc = flag.Int("country-concurrency", 0, "countries crawled in parallel (default: -concurrency)")
+		fetchConc   = flag.Int("fetch-concurrency", 0, "study-wide fetch/annotate worker pool size shared by all crawls (default: -concurrency)")
+		maxURLs     = flag.Int("max-urls", 0, "cap on distinct URLs per country crawl, deterministically admitted (default: unlimited)")
 		trustIPInfo = flag.Bool("trust-ipinfo", false, "ablation: skip geolocation verification")
 		noSAN       = flag.Bool("no-san", false, "ablation: disable SAN-based URL classification")
 		noTopsites  = flag.Bool("no-topsites", false, "skip the Appendix D top-site baseline")
@@ -46,13 +49,16 @@ func main() {
 	}
 
 	cfg := govhost.Config{
-		Seed:         *seed,
-		Scale:        *scale,
-		CrawlDepth:   *depth,
-		Concurrency:  *concurrency,
-		TrustIPInfo:  *trustIPInfo,
-		DisableSAN:   *noSAN,
-		SkipTopsites: *noTopsites,
+		Seed:               *seed,
+		Scale:              *scale,
+		CrawlDepth:         *depth,
+		Concurrency:        *concurrency,
+		CountryConcurrency: *countryConc,
+		FetchConcurrency:   *fetchConc,
+		MaxURLsPerCrawl:    *maxURLs,
+		TrustIPInfo:        *trustIPInfo,
+		DisableSAN:         *noSAN,
+		SkipTopsites:       *noTopsites,
 	}
 	if *countries != "" {
 		cfg.Countries = strings.Split(strings.ToUpper(*countries), ",")

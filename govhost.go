@@ -41,8 +41,25 @@ type Config struct {
 	Countries []string
 	// CrawlDepth overrides the paper's seven-level crawl when positive.
 	CrawlDepth int
-	// Concurrency bounds parallelism; 0 picks a default.
+	// Concurrency is the back-compat combined parallelism knob: when
+	// CountryConcurrency or FetchConcurrency is unset, each inherits
+	// this value (0 picks a default of 8). Historically this knob was
+	// applied at two levels — countries in flight × workers per crawl —
+	// so a study could spawn Concurrency² goroutines; the unified
+	// scheduler spends it once.
 	Concurrency int
+	// CountryConcurrency bounds how many countries are crawled in
+	// parallel; 0 inherits Concurrency.
+	CountryConcurrency int
+	// FetchConcurrency sizes the single study-wide worker pool that
+	// executes every fetch and annotation across all countries; 0
+	// inherits Concurrency. Total goroutine count during a run is
+	// CountryConcurrency + FetchConcurrency.
+	FetchConcurrency int
+	// MaxURLsPerCrawl caps the distinct URLs each country crawl admits
+	// (0 = unlimited). The cap cuts a sorted per-depth frontier, so
+	// capped runs stay seed-deterministic at any concurrency.
+	MaxURLsPerCrawl int
 	// SkipTopsites disables the Appendix D popular-site baseline.
 	SkipTopsites bool
 
@@ -59,16 +76,19 @@ type Config struct {
 
 func (c Config) toCore() core.Config {
 	return core.Config{
-		Seed:              c.Seed,
-		Scale:             c.Scale,
-		Countries:         c.Countries,
-		CrawlDepth:        c.CrawlDepth,
-		Concurrency:       c.Concurrency,
-		SkipTopsites:      c.SkipTopsites,
-		TrendYears:        c.TrendYears,
-		TrustIPInfo:       c.TrustIPInfo,
-		GlobalThresholdMS: c.GlobalThresholdMS,
-		DisableSAN:        c.DisableSAN,
+		Seed:               c.Seed,
+		Scale:              c.Scale,
+		Countries:          c.Countries,
+		CrawlDepth:         c.CrawlDepth,
+		Concurrency:        c.Concurrency,
+		CountryConcurrency: c.CountryConcurrency,
+		FetchConcurrency:   c.FetchConcurrency,
+		MaxURLsPerCrawl:    c.MaxURLsPerCrawl,
+		SkipTopsites:       c.SkipTopsites,
+		TrendYears:         c.TrendYears,
+		TrustIPInfo:        c.TrustIPInfo,
+		GlobalThresholdMS:  c.GlobalThresholdMS,
+		DisableSAN:         c.DisableSAN,
 	}
 }
 

@@ -482,3 +482,45 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestSameSeedByteIdenticalExport(t *testing.T) {
+	// The full pipeline run twice with the same seed — including a
+	// MaxURLs cap and Concurrency > 1, the configuration that used to
+	// race frontier admission — must export byte-identical datasets.
+	cfg := Config{Scale: 0.03, Seed: 7,
+		Countries:        []string{"US", "MX", "UY", "FR", "JP"},
+		Concurrency:      4,
+		FetchConcurrency: 8,
+		MaxURLsPerCrawl:  30,
+	}
+	export := func() []byte {
+		s, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl, csv bytes.Buffer
+		if err := s.ExportJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ExportCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return append(jsonl.Bytes(), csv.Bytes()...)
+	}
+	first := export()
+	second := export()
+	if !bytes.Equal(first, second) {
+		i := 0
+		for i < len(first) && i < len(second) && first[i] == second[i] {
+			i++
+		}
+		lo, hi := i-60, i+60
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(first) {
+			hi = len(first)
+		}
+		t.Fatalf("exports diverge at byte %d:\n%q", i, first[lo:hi])
+	}
+}

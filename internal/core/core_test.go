@@ -2,11 +2,20 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/govclass"
+	"repro/internal/har"
+	"repro/internal/whois"
 	"repro/internal/world"
 )
 
@@ -311,6 +320,201 @@ func TestGlobalThresholdAblation(t *testing.T) {
 		if ablated.Records[i].GeoMethod == "" {
 			t.Fatal("ablated run skipped geolocation entirely")
 		}
+	}
+}
+
+func TestRunAppliesDefaultsWithoutNewEnv(t *testing.T) {
+	// Regression: an Env whose Config skipped withDefaults (a caller
+	// mirroring LoadedEnv, or a zero-valued Concurrency) used to build
+	// a zero-capacity semaphore and deadlock every worker. Run must
+	// normalise its own configuration.
+	env := NewEnv(Config{Scale: 0.02, Countries: []string{"UY"}})
+	env.Config.Concurrency = 0
+	env.Config.CountryConcurrency = 0
+	env.Config.FetchConcurrency = 0
+	env.resolutions = nil
+	env.resolveHost = nil
+
+	done := make(chan error, 1)
+	go func() {
+		ds, err := env.Run(context.Background())
+		if err == nil && len(ds.Records) == 0 {
+			err = errors.New("no records")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Run deadlocked with an unnormalised zero-concurrency config")
+	}
+	if env.Config.FetchConcurrency <= 0 || env.Config.CountryConcurrency <= 0 {
+		t.Fatalf("Run left the budget unnormalised: %+v", env.Config)
+	}
+}
+
+func TestRunGoroutineCountBoundedByBudget(t *testing.T) {
+	// The scheduler must spawn CountryConcurrency + FetchConcurrency
+	// workers, not their product: with the old two-level fan-out this
+	// configuration would put 9 + 9×4-ish goroutines in flight.
+	before := runtime.NumGoroutine()
+	const countryBudget, fetchBudget = 2, 4
+
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	runSubset(t, Config{Scale: 0.02, SkipTopsites: true,
+		CountryConcurrency: countryBudget, FetchConcurrency: fetchBudget})
+	close(stop)
+	probeWG.Wait()
+
+	// Budget + main + probe + modest slack for runtime helpers. The
+	// pre-scheduler pipeline peaked at ≥ Concurrency² and fails this
+	// bound by an order of magnitude.
+	limit := int64(before + countryBudget + fetchBudget + 6)
+	if peak.Load() > limit {
+		t.Fatalf("goroutine peak %d exceeds budget-derived limit %d", peak.Load(), limit)
+	}
+}
+
+func TestRunCancellationAbandonsQueuedCountries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Config{Scale: 0.02, Countries: []string{"US", "MX", "DE", "UY"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnnotateSharedNegativeCache(t *testing.T) {
+	env := NewEnv(Config{Scale: 0.02, Countries: []string{"UY"}})
+	c := env.World.MustCountry("UY")
+
+	var mu sync.Mutex
+	calls := map[string]int{}
+	orig := env.resolveHost
+	env.resolveHost = func(host string) (netip.Addr, whois.Record, error) {
+		mu.Lock()
+		calls[host]++
+		mu.Unlock()
+		if host == "broken.gub.uy" {
+			return netip.Addr{}, whois.Record{}, errors.New("NXDOMAIN")
+		}
+		return orig(host)
+	}
+
+	goodHost := har.HostOf(env.Estate.LandingURLs["UY"][0])
+	good := har.Entry{URL: "https://" + goodHost + "/", Host: goodHost, Status: 200, BodySize: 1}
+	bad := har.Entry{URL: "https://broken.gub.uy/", Host: "broken.gub.uy", Status: 200, BodySize: 1}
+
+	for i := 0; i < 3; i++ {
+		if _, err := env.annotate(c, good); err != nil {
+			t.Fatalf("annotate(good) attempt %d: %v", i, err)
+		}
+		if _, err := env.annotate(c, bad); err == nil {
+			t.Fatalf("annotate(bad) attempt %d succeeded", i)
+		}
+	}
+	if calls[goodHost] != 1 {
+		t.Fatalf("good host resolved %d times, want 1 (cache miss only once)", calls[goodHost])
+	}
+	if calls["broken.gub.uy"] != 1 {
+		t.Fatalf("failed host resolved %d times, want 1 (negative caching)", calls["broken.gub.uy"])
+	}
+	if env.resolutions.size() != 2 {
+		t.Fatalf("cache holds %d hostnames, want 2", env.resolutions.size())
+	}
+}
+
+func TestResolutionCacheSharedAcrossCountries(t *testing.T) {
+	// The cache lives at the Env, not per country: a full run resolves
+	// each distinct hostname exactly once even with countries in
+	// flight concurrently.
+	env := NewEnv(Config{Scale: 0.03, SkipTopsites: true,
+		Countries: []string{"US", "MX", "UY"}, CountryConcurrency: 3, FetchConcurrency: 8})
+	var mu sync.Mutex
+	calls := map[string]int{}
+	orig := env.resolveHost
+	env.resolveHost = func(host string) (netip.Addr, whois.Record, error) {
+		mu.Lock()
+		calls[host]++
+		mu.Unlock()
+		return orig(host)
+	}
+	if _, err := env.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for host, n := range calls {
+		if n != 1 {
+			t.Fatalf("host %s resolved %d times, want 1", host, n)
+		}
+	}
+	if len(calls) == 0 {
+		t.Fatal("resolver never consulted")
+	}
+}
+
+func TestPipelineDeterministicWithCapAndConcurrency(t *testing.T) {
+	// The issue's headline determinism case: a MaxURLs cap plus real
+	// concurrency used to make frontier admission a worker race; now
+	// equal seeds must yield identical datasets, record for record.
+	cfg := Config{Scale: 0.03, MaxURLsPerCrawl: 40,
+		Concurrency: 4, CountryConcurrency: 4, FetchConcurrency: 8}
+	a := runSubset(t, cfg)
+	b := runSubset(t, cfg)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ under cap: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if fmt.Sprintf("%+v", a.Records[i]) != fmt.Sprintf("%+v", b.Records[i]) {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+	for i := range a.Topsites {
+		if a.Topsites[i].URL != b.Topsites[i].URL || a.Topsites[i].IP != b.Topsites[i].IP {
+			t.Fatalf("topsite record %d differs", i)
+		}
+	}
+	// The cap must actually bite, or this test proves nothing.
+	capped := false
+	for _, st := range a.PerCountry {
+		if st.LandingURLs+st.InternalURLs >= 38 {
+			capped = true
+		}
+	}
+	if !capped {
+		t.Log("warning: MaxURLsPerCrawl=40 never reached at this scale")
+	}
+}
+
+func TestMaxURLsPerCrawlLimitsDataset(t *testing.T) {
+	uncapped := runSubset(t, Config{Scale: 0.03, SkipTopsites: true, Countries: []string{"US"}})
+	capped := runSubset(t, Config{Scale: 0.03, SkipTopsites: true, Countries: []string{"US"},
+		MaxURLsPerCrawl: 10})
+	if len(capped.Records) > 10 {
+		t.Fatalf("cap of 10 produced %d records", len(capped.Records))
+	}
+	if len(capped.Records) >= len(uncapped.Records) {
+		t.Fatalf("cap did not reduce the crawl: %d vs %d", len(capped.Records), len(uncapped.Records))
 	}
 }
 

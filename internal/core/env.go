@@ -31,9 +31,22 @@ type Config struct {
 
 	// CrawlDepth overrides the §3.2 depth of 7 when positive.
 	CrawlDepth int
-	// Concurrency is the number of countries crawled in parallel and
-	// the per-crawl worker count; 0 picks a sensible default.
+	// Concurrency is the legacy combined parallelism knob: it seeds
+	// both CountryConcurrency and FetchConcurrency when they are unset;
+	// 0 picks a sensible default. Before the unified scheduler this
+	// knob was applied twice (countries × per-crawl workers), spawning
+	// Concurrency² goroutines; it now names one budget.
 	Concurrency int
+	// CountryConcurrency bounds how many countries are in flight at
+	// once; 0 inherits Concurrency.
+	CountryConcurrency int
+	// FetchConcurrency bounds the study-wide fetch/annotate worker
+	// pool shared by every crawl; 0 inherits Concurrency.
+	FetchConcurrency int
+	// MaxURLsPerCrawl caps the distinct URLs admitted per country
+	// crawl (0 = unlimited). Admission is deterministic: the cap cuts
+	// a sorted per-depth frontier, so equal seeds crawl equal URL sets.
+	MaxURLsPerCrawl int
 
 	// SkipTopsites disables the Appendix D baseline collection.
 	SkipTopsites bool
@@ -77,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.Concurrency <= 0 {
 		c.Concurrency = 8
 	}
+	if c.CountryConcurrency <= 0 {
+		c.CountryConcurrency = c.Concurrency
+	}
+	if c.FetchConcurrency <= 0 {
+		c.FetchConcurrency = c.Concurrency
+	}
 	return c
 }
 
@@ -93,6 +112,15 @@ type Env struct {
 	IPInfo   *ipinfo.DB
 	Manycast *manycast.Snapshot
 	Prober   *probing.Prober
+
+	// resolutions is the study-wide hostname→(IP, WHOIS) cache shared
+	// by every country's annotation pass. Failed lookups are cached too
+	// (negative entries), so a bad hostname costs one resolution, not
+	// one per URL referencing it.
+	resolutions *rescache
+	// resolveHost performs one uncached resolution; tests may replace
+	// it to observe or fault-inject lookups.
+	resolveHost resolveFunc
 }
 
 // NewEnv builds the environment for a configuration.
@@ -119,6 +147,8 @@ func NewEnv(cfg Config) *Env {
 	}
 	env.Prober = probing.New(net, w, zones, env.IPInfo, env.Manycast)
 	env.Prober.GlobalThresholdMS = cfg.GlobalThresholdMS
+	env.resolutions = newRescache()
+	env.resolveHost = env.zoneResolve
 	return env
 }
 

@@ -12,9 +12,9 @@ import (
 	"repro/internal/govclass"
 	"repro/internal/har"
 	"repro/internal/probing"
+	"repro/internal/sched"
 	"repro/internal/vantage"
 	"repro/internal/webgen"
-	"repro/internal/whois"
 	"repro/internal/world"
 )
 
@@ -25,8 +25,27 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, error) {
 }
 
 // Run executes the pipeline against an already-built environment.
+//
+// One study-wide scheduler owns every fetch/annotate task: a bounded
+// pool of FetchConcurrency workers is shared by all crawls, and at
+// most CountryConcurrency countries are in flight at once. Total
+// goroutine count is therefore CountryConcurrency + FetchConcurrency —
+// the configured budget — where the old per-country pools spawned
+// Concurrency² workers. Cancellation abandons queued countries and
+// queued fetches promptly, not just in-flight crawls.
 func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
-	cfg := env.Config
+	// Normalise here, not only in NewEnv: an Env assembled by hand
+	// (e.g. a caller mirroring LoadedEnv) would otherwise run with a
+	// zero concurrency budget, and a zero-capacity semaphore deadlocks
+	// every worker.
+	cfg := env.Config.withDefaults()
+	env.Config = cfg
+	if env.resolutions == nil {
+		env.resolutions = newRescache()
+	}
+	if env.resolveHost == nil {
+		env.resolveHost = env.zoneResolve
+	}
 	countries := env.studyCountries()
 
 	ds := &dataset.Dataset{
@@ -42,21 +61,42 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 		err     error
 	}
 
+	pool := sched.NewPool(cfg.FetchConcurrency)
+	defer pool.Close()
+
+	// A fixed team of coordinators pulls country indexes from a
+	// channel; all their fetch/annotate work funnels through the shared
+	// pool.
 	results := make([]countryResult, len(countries))
-	sem := make(chan struct{}, cfg.Concurrency)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, c := range countries {
+	for w := 0; w < cfg.CountryConcurrency; w++ {
 		wg.Add(1)
-		go func(i int, c *world.Country) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			recs, stats, methods, err := env.runCountry(ctx, c)
-			results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
-		}(i, c)
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain the remaining indexes without working
+				}
+				recs, stats, methods, err := env.runCountry(ctx, countries[i], pool)
+				results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
+			}
+		}()
 	}
+feed:
+	for i := range countries {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, res := range results {
 		if res.err != nil {
 			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, res.err)
@@ -70,7 +110,7 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	}
 
 	if !cfg.SkipTopsites {
-		if err := env.runTopsites(ctx, ds); err != nil {
+		if err := env.runTopsites(ctx, ds, pool); err != nil {
 			return nil, err
 		}
 	}
@@ -100,8 +140,9 @@ func (env *Env) studyCountries() []*world.Country {
 	return out
 }
 
-// runCountry performs the §3 pipeline for one country.
-func (env *Env) runCountry(ctx context.Context, c *world.Country) ([]dataset.URLRecord, *dataset.CountryStats, map[govclass.URLMethod]int, error) {
+// runCountry performs the §3 pipeline for one country; every fetch and
+// annotation runs on the shared pool.
+func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Pool) ([]dataset.URLRecord, *dataset.CountryStats, map[govclass.URLMethod]int, error) {
 	cfg := env.Config
 
 	// §3.2: connect through an in-country VPN vantage and validate its
@@ -115,11 +156,12 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country) ([]dataset.URL
 	cr := &crawler.Crawler{
 		Fetcher: vp.Fetcher,
 		Config: crawler.Config{
-			MaxDepth:    cfg.CrawlDepth,
-			Concurrency: cfg.Concurrency,
-			Country:     c.Code,
-			VPN:         vp.VPN,
+			MaxDepth: cfg.CrawlDepth,
+			MaxURLs:  cfg.MaxURLsPerCrawl,
+			Country:  c.Code,
+			VPN:      vp.VPN,
 		},
+		Pool: pool,
 	}
 	archive, err := cr.Crawl(ctx, landings)
 	if err != nil {
@@ -134,28 +176,51 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country) ([]dataset.URL
 		landingSet[l] = true
 	}
 
-	var records []dataset.URLRecord
-	hostSeen := map[string]bool{}
-	resCache := map[string]resolved{}
-	for _, entry := range archive.Entries {
+	// Candidates index into the archive rather than copying entries: the
+	// annotation fan-out only needs to read them, and the archive is
+	// immutable once the crawl returns.
+	type candidate struct {
+		idx    int
+		method govclass.URLMethod
+	}
+	var candidates []candidate
+	for i := range archive.Entries {
+		entry := &archive.Entries[i]
 		if entry.Status != 200 {
 			continue
 		}
 		method := classifier.Classify(entry.Host)
-		internal := !landingSet[entry.URL]
-		if internal {
+		if !landingSet[entry.URL] {
 			methods[method]++
 		}
 		if method == govclass.MethodDiscarded {
 			continue
 		}
-		rec, err := env.annotate(c, entry, resCache)
-		if err != nil {
+		candidates = append(candidates, candidate{idx: i, method: method})
+	}
+
+	// Annotation fans out through the same bounded pool as the fetches;
+	// workers write into their own index so assembly order stays the
+	// archive's deterministic order, not completion order. Records are
+	// then compacted in place — the fan-out buffer is the result slice.
+	recs := make([]dataset.URLRecord, len(candidates))
+	errs := make([]error, len(candidates))
+	pool.Each(ctx, len(candidates), func(i int) {
+		recs[i], errs[i] = env.annotate(c, archive.Entries[candidates[i].idx])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	records := recs[:0]
+	hostSeen := map[string]bool{}
+	for i := range recs {
+		if errs[i] != nil {
 			continue // unresolvable hostnames drop out, as in any crawl
 		}
-		rec.Method = string(method)
-		records = append(records, rec)
-		hostSeen[entry.Host] = true
+		recs[i].Method = string(candidates[i].method)
+		records = append(records, recs[i])
+		hostSeen[archive.Entries[candidates[i].idx].Host] = true
 	}
 
 	stats := &dataset.CountryStats{
@@ -168,15 +233,11 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country) ([]dataset.URL
 	return records, stats, methods, nil
 }
 
-// resolved caches per-hostname annotation lookups within one country.
-type resolved struct {
-	ip  netip.Addr
-	rec whois.Record
-}
-
 // annotate resolves one crawled URL to its serving infrastructure
-// (Table 2) and validated location.
-func (env *Env) annotate(c *world.Country, entry har.Entry, cache map[string]resolved) (dataset.URLRecord, error) {
+// (Table 2) and validated location. Resolution goes through the
+// study-wide cache, so each distinct hostname — resolvable or not — is
+// looked up once across all countries.
+func (env *Env) annotate(c *world.Country, entry har.Entry) (dataset.URLRecord, error) {
 	rec := dataset.URLRecord{
 		URL:     entry.URL,
 		Host:    entry.Host,
@@ -186,23 +247,14 @@ func (env *Env) annotate(c *world.Country, entry har.Entry, cache map[string]res
 		Depth:   entry.Depth,
 	}
 
-	rv, ok := cache[entry.Host]
-	if !ok {
-		res, err := env.Zones.Resolve(entry.Host)
-		if err != nil {
-			return rec, err
-		}
-		wrec, found := env.WhoisDB.Lookup(res.Addr)
-		if !found {
-			return rec, fmt.Errorf("no WHOIS record for %v", res.Addr)
-		}
-		rv = resolved{ip: res.Addr, rec: wrec}
-		cache[entry.Host] = rv
+	ip, wrec, err := env.resolutions.resolve(entry.Host, env.resolveHost)
+	if err != nil {
+		return rec, err
 	}
-	rec.IP = rv.ip
-	rec.ASN = rv.rec.ASN
-	rec.Org = rv.rec.Org
-	rec.RegCountry = rv.rec.Country
+	rec.IP = ip
+	rec.ASN = wrec.ASN
+	rec.Org = wrec.Org
+	rec.RegCountry = wrec.Country
 	if site := env.Estate.Site(entry.Host); site != nil {
 		rec.HTTPSValid = site.HTTPSValid
 	}
@@ -271,6 +323,9 @@ func (env *Env) urlClassifier(c *world.Country) *govclass.URLClassifier {
 }
 
 // sortRecords orders records deterministically (by country, then URL).
+// sort.Slice, not slices.SortFunc: the generic sort copies whole
+// records around while the reflect-based one swaps in place, and at
+// ~230 bytes per record the copies dominate.
 func sortRecords(recs []dataset.URLRecord) {
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].Country != recs[j].Country {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"repro/internal/whois"
+)
+
+// resolveFunc performs one uncached hostname→(IP, WHOIS) resolution.
+type resolveFunc func(host string) (netip.Addr, whois.Record, error)
+
+// rescache is the concurrency-safe, study-wide resolution cache: every
+// country's annotation pass shares it, so annotation cost scales with
+// distinct hostnames rather than crawled records. Failures are cached
+// as negative entries — before this cache existed a bad hostname was
+// re-resolved on every URL that referenced it.
+type rescache struct {
+	mu sync.Mutex
+	m  map[string]*resEntry
+}
+
+// resEntry is one hostname's outcome; once guarantees a single
+// resolution per hostname across all workers, positive or negative.
+type resEntry struct {
+	once sync.Once
+	ip   netip.Addr
+	rec  whois.Record
+	err  error
+}
+
+func newRescache() *rescache {
+	return &rescache{m: make(map[string]*resEntry)}
+}
+
+// resolve returns the cached outcome for host, performing the lookup
+// through fn exactly once per hostname. Concurrent callers for the
+// same hostname share one in-flight resolution.
+func (c *rescache) resolve(host string, fn resolveFunc) (netip.Addr, whois.Record, error) {
+	c.mu.Lock()
+	e := c.m[host]
+	if e == nil {
+		e = &resEntry{}
+		c.m[host] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.ip, e.rec, e.err = fn(host)
+	})
+	return e.ip, e.rec, e.err
+}
+
+// size reports how many hostnames (positive or negative) are cached.
+func (c *rescache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// zoneResolve is the production resolveFunc: DNS through the synthetic
+// zones, then the WHOIS registry for the serving prefix.
+func (env *Env) zoneResolve(host string) (netip.Addr, whois.Record, error) {
+	res, err := env.Zones.Resolve(host)
+	if err != nil {
+		return netip.Addr{}, whois.Record{}, err
+	}
+	wrec, found := env.WhoisDB.Lookup(res.Addr)
+	if !found {
+		return netip.Addr{}, whois.Record{}, fmt.Errorf("no WHOIS record for %v", res.Addr)
+	}
+	return res.Addr, wrec, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/dataset"
+	"repro/internal/sched"
 	"repro/internal/topsites"
 	"repro/internal/vantage"
 	"repro/internal/webgen"
@@ -15,8 +16,8 @@ import (
 // countries (Table 6) it crawls each popular site one level beyond the
 // landing page, identifies self-hosting via the CNAME/SAN heuristic,
 // and annotates serving infrastructure exactly like the government
-// pipeline.
-func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset) error {
+// pipeline — through the same shared scheduler and resolution cache.
+func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sched.Pool) error {
 	subset := env.topsiteCountrySet()
 	for _, code := range webgen.ComparisonCountries {
 		if !subset[code] {
@@ -36,18 +37,17 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset) error {
 		cr := &crawler.Crawler{
 			Fetcher: vp.Fetcher,
 			Config: crawler.Config{
-				MaxDepth:    1, // §5.1: top-site scraping stops one level down
-				Concurrency: env.Config.Concurrency,
-				Country:     code,
-				VPN:         vp.VPN,
+				MaxDepth: 1, // §5.1: top-site scraping stops one level down
+				Country:  code,
+				VPN:      vp.VPN,
 			},
+			Pool: pool,
 		}
 		archive, err := cr.Crawl(ctx, landings)
 		if err != nil {
 			return fmt.Errorf("core: topsites %s: %w", code, err)
 		}
 
-		resCache := map[string]resolved{}
 		for _, entry := range archive.Entries {
 			if entry.Status != 200 {
 				continue
@@ -56,7 +56,7 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset) error {
 			if site == nil || site.Kind != webgen.KindTopsite {
 				continue
 			}
-			rec, err := env.annotate(c, entry, resCache)
+			rec, err := env.annotate(c, entry)
 			if err != nil {
 				continue
 			}

@@ -4,14 +4,23 @@
 // every resource into a HAR archive, and follows links across
 // hostnames — the §3.3 filter decides later which of those are
 // government resources.
+//
+// The crawl is a level-synchronised BFS: each depth level's frontier
+// is admitted deterministically (deduplicated, sorted, capped) before
+// any of it is fetched, so two runs with equal seeds visit exactly the
+// same URL set regardless of worker scheduling — including under a
+// MaxURLs cap. Fetches within a level run in parallel on a bounded
+// worker pool; several crawls can share one study-wide pool.
 package crawler
 
 import (
 	"context"
-	"sync"
+	"slices"
+	"strings"
 
 	"repro/internal/fetch"
 	"repro/internal/har"
+	"repro/internal/sched"
 )
 
 // DefaultMaxDepth is the paper's crawl depth.
@@ -20,7 +29,7 @@ const DefaultMaxDepth = 7
 // Config controls one crawl.
 type Config struct {
 	MaxDepth    int // 0 means DefaultMaxDepth
-	Concurrency int // parallel fetches; 0 means 8
+	Concurrency int // parallel fetches when no shared pool is set; 0 means 8
 	MaxURLs     int // safety cap on distinct URLs; 0 means unlimited
 	Country     string
 	VPN         string
@@ -30,6 +39,11 @@ type Config struct {
 type Crawler struct {
 	Fetcher fetch.Fetcher
 	Config  Config
+	// Pool, when set, runs this crawl's fetches on a shared scheduler
+	// instead of a private worker pool, so one study-wide budget bounds
+	// every crawl at once. Nil gives the crawl its own bounded pool of
+	// Config.Concurrency workers.
+	Pool *sched.Pool
 }
 
 // task is one URL scheduled for fetching.
@@ -39,138 +53,120 @@ type task struct {
 	landing string
 }
 
-// workList is an unbounded breadth-ish work queue: workers block on a
-// condition variable and exit when no task is queued, none is in
-// flight, or the crawl is cancelled.
-type workList struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	tasks    []task
-	inflight int
-	cancel   bool
-}
-
-func newWorkList() *workList {
-	w := &workList{}
-	w.cond = sync.NewCond(&w.mu)
-	return w
-}
-
-func (w *workList) push(t task) {
-	w.mu.Lock()
-	w.tasks = append(w.tasks, t)
-	w.mu.Unlock()
-	w.cond.Signal()
-}
-
-// pop blocks until a task is available or the crawl is finished; the
-// second result is false when the worker should exit.
-func (w *workList) pop() (task, bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for {
-		if w.cancel {
-			return task{}, false
-		}
-		if len(w.tasks) > 0 {
-			t := w.tasks[0]
-			w.tasks = w.tasks[1:]
-			w.inflight++
-			return t, true
-		}
-		if w.inflight == 0 {
-			w.cond.Broadcast()
-			return task{}, false
-		}
-		w.cond.Wait()
-	}
-}
-
-func (w *workList) done() {
-	w.mu.Lock()
-	w.inflight--
-	if w.inflight == 0 && len(w.tasks) == 0 {
-		w.cond.Broadcast()
-	}
-	w.mu.Unlock()
-}
-
-func (w *workList) stop() {
-	w.mu.Lock()
-	w.cancel = true
-	w.mu.Unlock()
-	w.cond.Broadcast()
+// fetched is one level slot's outcome; ok distinguishes a completed
+// fetch from a slot abandoned on cancellation. Links stay as the raw
+// extracted URLs — they are deduplicated against seen before any task
+// structs are built, so duplicate links (the common case past level
+// one) cost no allocation.
+type fetched struct {
+	entry har.Entry
+	links []string
+	ok    bool
 }
 
 // Crawl fetches the landing URLs and everything reachable from them
 // within the configured depth. Fetch errors (unknown hosts, network
 // failures) are recorded as status-0 entries and do not abort the
 // crawl, mirroring how a measurement harness tolerates partial
-// failures.
+// failures. Cancellation abandons queued work promptly and returns the
+// context error alongside the partial archive.
 func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, error) {
 	maxDepth := c.Config.MaxDepth
 	if maxDepth == 0 {
 		maxDepth = DefaultMaxDepth
 	}
-	workers := c.Config.Concurrency
-	if workers <= 0 {
-		workers = 8
+	pool := c.Pool
+	if pool == nil {
+		workers := c.Config.Concurrency
+		if workers <= 0 {
+			workers = 8
+		}
+		pool = sched.NewPool(workers)
+		defer pool.Close()
 	}
 
 	archive := har.New()
-	var archiveMu sync.Mutex
-
-	var seenMu sync.Mutex
 	seen := make(map[string]bool)
 
-	wl := newWorkList()
-	enqueue := func(t task) {
-		seenMu.Lock()
-		if seen[t.url] || (c.Config.MaxURLs > 0 && len(seen) >= c.Config.MaxURLs) {
-			seenMu.Unlock()
-			return
-		}
-		seen[t.url] = true
-		seenMu.Unlock()
-		wl.push(t)
-	}
-
+	// Landing admission preserves the caller's order; the per-level
+	// admission below sorts, so the whole frontier sequence is a pure
+	// function of the page graph.
+	var frontier []task
 	for _, l := range landings {
-		enqueue(task{url: l, depth: 0, landing: l})
-	}
-
-	// Cancellation watcher.
-	stopWatch := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			wl.stop()
-		case <-stopWatch:
+		if seen[l] || (c.Config.MaxURLs > 0 && len(seen) >= c.Config.MaxURLs) {
+			continue
 		}
-	}()
-
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				t, ok := wl.pop()
-				if !ok {
-					return
-				}
-				c.process(ctx, t, maxDepth, archive, &archiveMu, enqueue)
-				wl.done()
-			}
-		}()
+		seen[l] = true
+		frontier = append(frontier, task{url: l, depth: 0, landing: l})
 	}
-	wg.Wait()
-	close(stopWatch)
+
+	// One result buffer serves every level: the crawl is GC-bound at
+	// scale, and a fresh slice per level is the single largest
+	// allocation the crawler would otherwise make.
+	var results []fetched
+	for len(frontier) > 0 && ctx.Err() == nil {
+		if cap(results) < len(frontier) {
+			results = make([]fetched, len(frontier))
+		} else {
+			results = results[:len(frontier)]
+			clear(results)
+		}
+		pool.Each(ctx, len(frontier), func(i int) {
+			results[i].entry, results[i].links = c.fetchOne(ctx, frontier[i], maxDepth)
+			results[i].ok = true
+		})
+
+		// Entries land in frontier order, never completion order, so
+		// the archive itself is deterministic. Links are deduplicated in
+		// the same order — first discovery wins the (depth, landing)
+		// attribution, exactly as a sequential crawl would assign it.
+		// New links go straight into seen (one map touch per link);
+		// admitLevel evicts the tail again if the cap cuts the level.
+		var next []task
+		for i := range results {
+			if !results[i].ok {
+				continue
+			}
+			archive.Add(results[i].entry)
+			for _, link := range results[i].links {
+				if seen[link] {
+					continue
+				}
+				seen[link] = true
+				next = append(next, task{url: link, depth: frontier[i].depth + 1, landing: frontier[i].landing})
+			}
+		}
+		frontier = c.admitLevel(seen, next)
+	}
 	return archive, ctx.Err()
 }
 
-func (c *Crawler) process(ctx context.Context, t task, maxDepth int, archive *har.Archive, mu *sync.Mutex, enqueue func(task)) {
-	resp, err := c.Fetcher.Fetch(ctx, t.url)
+// admitLevel turns one level's candidate links — already deduplicated
+// and provisionally marked in seen — into the next frontier: sort by
+// URL so admission order is canonical, then apply the MaxURLs cap,
+// evicting anything past the cut from seen again. Running this
+// single-threaded between levels is what makes a capped crawl
+// seed-deterministic: the cap cuts a sorted list, not a worker race.
+func (c *Crawler) admitLevel(seen map[string]bool, next []task) []task {
+	slices.SortFunc(next, func(a, b task) int { return strings.Compare(a.url, b.url) })
+	if c.Config.MaxURLs > 0 {
+		allowed := c.Config.MaxURLs - (len(seen) - len(next))
+		if allowed < 0 {
+			allowed = 0
+		}
+		if allowed < len(next) {
+			for _, t := range next[allowed:] {
+				delete(seen, t.url)
+			}
+			next = next[:allowed]
+		}
+	}
+	return next
+}
+
+// fetchOne retrieves a single URL and returns its archive entry plus
+// the raw links to consider for the next level.
+func (c *Crawler) fetchOne(ctx context.Context, t task, maxDepth int) (har.Entry, []string) {
 	entry := har.Entry{
 		URL:     t.url,
 		Host:    har.HostOf(t.url),
@@ -179,11 +175,9 @@ func (c *Crawler) process(ctx context.Context, t task, maxDepth int, archive *ha
 		Country: c.Config.Country,
 		FromVPN: c.Config.VPN,
 	}
+	resp, err := c.Fetcher.Fetch(ctx, t.url)
 	if err != nil {
-		mu.Lock()
-		archive.Add(entry) // status 0: unreachable
-		mu.Unlock()
-		return
+		return entry, nil // status 0: unreachable
 	}
 	entry.Status = resp.Status
 	entry.ContentType = resp.ContentType
@@ -191,21 +185,17 @@ func (c *Crawler) process(ctx context.Context, t task, maxDepth int, archive *ha
 	if entry.BodySize == 0 {
 		entry.BodySize = int64(len(resp.Body))
 	}
-	mu.Lock()
-	archive.Add(entry)
-	mu.Unlock()
-
 	if resp.Status != 200 || t.depth >= maxDepth || !isHTML(resp.ContentType) {
-		return
+		return entry, nil
 	}
-	for _, link := range ExtractLinks(t.url, resp.Body) {
-		enqueue(task{url: link, depth: t.depth + 1, landing: t.landing})
-	}
+	return entry, ExtractLinks(t.url, resp.Body)
 }
 
+// isHTML matches HTML content types case-insensitively: RFC 9110 media
+// types are case-insensitive, and real servers do emit Text/HTML.
+// EqualFold avoids the per-response allocation a ToLower would cost on
+// this hot path.
 func isHTML(ct string) bool {
-	if ct == "application/xhtml+xml" {
-		return true
-	}
-	return len(ct) >= 9 && ct[:9] == "text/html"
+	return (len(ct) >= 9 && strings.EqualFold(ct[:9], "text/html")) ||
+		strings.EqualFold(ct, "application/xhtml+xml")
 }

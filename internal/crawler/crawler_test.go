@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fetch"
+	"repro/internal/sched"
 )
 
 // fakeSite is a Fetcher serving a synthetic page graph: page /p{d}-{i}
@@ -134,6 +135,93 @@ func TestCrawlRecordsFailuresAndContinues(t *testing.T) {
 	// The healthy subtree must still be crawled: p1-1 and children.
 	if len(archive.Entries) < 4 {
 		t.Fatalf("crawl gave up after a failure: %d entries", len(archive.Entries))
+	}
+}
+
+func TestCrawlMaxURLsCapDeterministic(t *testing.T) {
+	// The cap must cut a deterministic frontier, not a worker race: two
+	// runs over the same page graph with the same cap and plenty of
+	// workers must visit exactly the same URL set, in the same order.
+	crawlOnce := func() []string {
+		site := &fakeSite{maxDepth: 8, fanout: 3}
+		c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 8, Concurrency: 16, MaxURLs: 25}}
+		archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var urls []string
+		for _, e := range archive.Entries {
+			urls = append(urls, e.URL)
+		}
+		return urls
+	}
+	first := crawlOnce()
+	if len(first) != 25 {
+		t.Fatalf("cap admitted %d URLs, want exactly 25", len(first))
+	}
+	for run := 0; run < 5; run++ {
+		again := crawlOnce()
+		if len(again) != len(first) {
+			t.Fatalf("run %d visited %d URLs, first visited %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d diverged at %d: %s vs %s", run, i, first[i], again[i])
+			}
+		}
+	}
+}
+
+func TestCrawlSharedPool(t *testing.T) {
+	// Two crawls sharing one study-wide pool must behave exactly like
+	// crawls with private pools.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for _, landing := range []string{"https://site.test/p0-0", "https://site.test/p0-1"} {
+		site := &fakeSite{maxDepth: 3, fanout: 2}
+		c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 7, Country: "XX"}, Pool: pool}
+		archive, err := c.Crawl(context.Background(), []string{landing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(archive.Entries); got != 15 {
+			t.Fatalf("entries = %d, want 15", got)
+		}
+	}
+}
+
+func TestIsHTMLCaseInsensitive(t *testing.T) {
+	for _, ct := range []string{
+		"text/html", "Text/HTML", "TEXT/HTML; charset=utf-8",
+		"text/HTML;charset=ISO-8859-1", "application/xhtml+xml", "Application/XHTML+XML",
+	} {
+		if !isHTML(ct) {
+			t.Errorf("isHTML(%q) = false, want true", ct)
+		}
+	}
+	for _, ct := range []string{"text/css", "application/json", "image/png", ""} {
+		if isHTML(ct) {
+			t.Errorf("isHTML(%q) = true, want false", ct)
+		}
+	}
+}
+
+func TestCrawlFollowsUppercaseContentType(t *testing.T) {
+	// A server announcing Text/HTML must not silently prune its subtree.
+	f := fetchFunc(func(ctx context.Context, url string) (*fetch.Response, error) {
+		if url == "https://site.test/" {
+			return &fetch.Response{Status: 200, ContentType: "Text/HTML; charset=utf-8",
+				Body: []byte(`<a href="/child">x</a>`)}, nil
+		}
+		return &fetch.Response{Status: 200, ContentType: "text/html", Body: nil}, nil
+	})
+	c := &Crawler{Fetcher: f, Config: Config{MaxDepth: 7, Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(archive.Entries); got != 2 {
+		t.Fatalf("entries = %d, want 2 (landing + child discovered through Text/HTML)", got)
 	}
 }
 

@@ -1,0 +1,158 @@
+// Package sched provides the bounded, context-aware worker pool that
+// backs the measurement pipeline. One pool owns every fetch/annotate
+// task across all concurrently crawled countries, so the number of
+// goroutines a study run spawns is the configured budget — not, as a
+// per-country pool would make it, the square of the concurrency knob.
+// Large-scale hosting studies (Pythia; Moura et al.'s consolidation
+// sweeps) use the same shape to keep million-URL runs tractable.
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool. Tasks submitted with Submit run on
+// one of the pool's workers; Close drains in-flight work and stops the
+// workers. A Pool is safe for concurrent use by multiple submitters —
+// several crawls can share one pool.
+type Pool struct {
+	tasks   chan func()
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines.
+// A non-positive count is clamped to 1.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	// The task channel is buffered one slot per worker: submitters
+	// enqueue without a goroutine-parking rendezvous when the pool is
+	// keeping up, while execution stays bounded by the worker count.
+	// The buffer only delays Submit's blocking, never the bound.
+	p := &Pool{tasks: make(chan func(), workers), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands fn to a worker, blocking until one is free. It returns
+// false without running fn when ctx is cancelled first, so queued work
+// is abandoned promptly on cancellation instead of draining through
+// the pool. Submitting after Close panics, as sends on a closed
+// channel do.
+func (p *Pool) Submit(ctx context.Context, fn func()) bool {
+	// Prefer the cancellation signal even when a worker is also ready.
+	select {
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Workers reports the pool's worker budget.
+func (p *Pool) Workers() int {
+	return p.workers
+}
+
+// Close stops the workers after the already-accepted tasks finish and
+// waits for them to exit. No further Submit calls may follow.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// minChunk floors the per-claim batch size in Each: below this, the
+// claim and handoff cost more than any load-balance win.
+const minChunk = 8
+
+// Each runs fn(i) for every i in [0, n) and waits for completion. The
+// calling goroutine participates: it claims contiguous index chunks
+// from an atomic cursor and runs them itself, while pool workers that
+// can take work immediately steal chunks alongside it. The caller was
+// going to block on the result anyway, so a batch the pool is too busy
+// to help with degrades to an ordinary loop instead of queueing behind
+// other callers — and the caller's own progress never requires a
+// goroutine handoff, which on few-core machines is most of a small
+// task's cost. On cancellation no further chunks are claimed and
+// running chunks stop between items, so some fn calls may never
+// happen; callers that need to know which ran should record completion
+// in their per-index result slot.
+func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	// Several chunks per worker keeps load balanced when item costs
+	// vary without giving back the per-chunk claim cost.
+	chunk := n / (p.workers * 4)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	if chunk >= n {
+		for i := 0; i < n; i++ {
+			if i > 0 && ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	run := func() {
+		for ctx.Err() == nil {
+			start := int(cursor.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				if i > start && ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}
+	}
+	// Recruit at most one helper per remaining chunk beyond the
+	// caller's own, and only workers that are free right now — a busy
+	// pool means the caller just does the work itself.
+	helpers := (n+chunk-1)/chunk - 1
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		ok := false
+		select {
+		case p.tasks <- func() { defer wg.Done(); run() }:
+			ok = true
+		default:
+		}
+		if !ok {
+			wg.Done()
+			break
+		}
+	}
+	run()
+	wg.Wait()
+}

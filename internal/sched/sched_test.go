@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if !p.Submit(context.Background(), func() {
+			defer wg.Done()
+			n.Add(1)
+		}) {
+			t.Fatal("submit refused without cancellation")
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		p.Submit(context.Background(), func() {
+			defer wg.Done()
+			now := running.Add(1)
+			for {
+				old := peak.Load()
+				if now <= old || peak.CompareAndSwap(old, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	wg.Wait()
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+	}
+}
+
+func TestPoolSubmitAbortsOnCancel(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.Submit(context.Background(), func() { defer wg.Done(); <-block })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if p.Submit(ctx, func() { t.Error("cancelled task ran") }) {
+		t.Fatal("submit accepted work after cancellation")
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestPoolGoroutineCountMatchesBudget(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(16)
+	if got := runtime.NumGoroutine() - before; got > 16 {
+		t.Fatalf("pool spawned %d goroutines for a budget of 16", got)
+	}
+	if p.Workers() != 16 {
+		t.Fatalf("Workers() = %d, want 16", p.Workers())
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("workers leaked after Close: %d > %d", now, before)
+	}
+}
+
+func TestPoolClampsNonPositiveWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1 (clamped)", p.Workers())
+	}
+	done := make(chan struct{})
+	p.Submit(context.Background(), func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero-worker pool never ran the task (the deadlock this clamp prevents)")
+	}
+}
