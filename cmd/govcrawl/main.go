@@ -15,11 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/dnswire"
+	"repro/internal/faults"
+	"repro/internal/fetch"
 	"repro/internal/vantage"
 	"repro/internal/webserve"
 )
@@ -32,6 +35,9 @@ func main() {
 		depth       = flag.Int("depth", 7, "crawl depth")
 		concurrency = flag.Int("concurrency", 16, "bounded fetch worker pool size")
 		maxURLs     = flag.Int("max-urls", 0, "cap on distinct URLs admitted, deterministically (default: unlimited)")
+		faultProf   = flag.String("fault-profile", "off", "chaos fault profile: off, mild, aggressive, or key=value spec (timeout=0.1,reset=0.05,...)")
+		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault plan (default: -seed); same seed, same faults")
+		retries     = flag.Int("retries", 0, "max fetch attempts per URL (default: 3; negative disables retries)")
 		out         = flag.String("o", "", "output HAR JSON path (default stdout)")
 		dumpZone    = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
 	)
@@ -91,7 +97,24 @@ func main() {
 		}
 	}
 
-	fetcher := vantage.NewHTTPFetcher(httpAddr, c.Code)
+	// The real-socket fetcher rides the same fault/retry stack the
+	// pipeline uses, so chaos behaviour is demonstrable over the wire.
+	prof, err := faults.ParseProfile(*faultProf)
+	if err != nil {
+		fatal(err)
+	}
+	var fetcher fetch.Fetcher = vantage.NewHTTPFetcher(httpAddr, c.Code)
+	if prof.Enabled() {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		fetcher = &faults.Fetcher{Inner: fetcher, Plan: faults.NewPlan(fs, prof)}
+	}
+	fetcher = &fetch.Retrier{
+		Inner:  fetcher,
+		Policy: fetch.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+	}
 	cr := &crawler.Crawler{
 		Fetcher: fetcher,
 		Config: crawler.Config{
@@ -107,6 +130,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "crawled %d entries (%d hosts, %d bytes) in %v\n",
 		len(archive.Entries), len(archive.Hosts()), archive.TotalBytes(),
 		time.Since(start).Round(time.Millisecond))
+	if counts := archive.FailureCounts(); len(counts) > 0 {
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(os.Stderr, "failures:")
+		for _, k := range kinds {
+			fmt.Fprintf(os.Stderr, " %s=%d", k, counts[k])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -31,6 +31,10 @@ func main() {
 		countryConc = flag.Int("country-concurrency", 0, "countries crawled in parallel (default: -concurrency)")
 		fetchConc   = flag.Int("fetch-concurrency", 0, "study-wide fetch/annotate worker pool size shared by all crawls (default: -concurrency)")
 		maxURLs     = flag.Int("max-urls", 0, "cap on distinct URLs per country crawl, deterministically admitted (default: unlimited)")
+		faultProf   = flag.String("fault-profile", "off", "chaos fault profile: off, mild, aggressive, or key=value spec (timeout=0.1,reset=0.05,...)")
+		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault plan (default: -seed); same seed, same faults")
+		retries     = flag.Int("retries", 0, "max fetch attempts per URL (default: 3; negative disables retries)")
+		retryBudget = flag.Int64("retry-budget", 0, "study-wide cap on total retries (default: unlimited)")
 		trustIPInfo = flag.Bool("trust-ipinfo", false, "ablation: skip geolocation verification")
 		noSAN       = flag.Bool("no-san", false, "ablation: disable SAN-based URL classification")
 		noTopsites  = flag.Bool("no-topsites", false, "skip the Appendix D top-site baseline")
@@ -56,6 +60,10 @@ func main() {
 		CountryConcurrency: *countryConc,
 		FetchConcurrency:   *fetchConc,
 		MaxURLsPerCrawl:    *maxURLs,
+		FaultProfile:       *faultProf,
+		FaultSeed:          *faultSeed,
+		RetryAttempts:      *retries,
+		RetryBudget:        *retryBudget,
 		TrustIPInfo:        *trustIPInfo,
 		DisableSAN:         *noSAN,
 		SkipTopsites:       *noTopsites,

@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"table8", "Table 8 — per-country dataset statistics", (*Study).reportTable8},
 		{"table9", "Table 9 — country panel", (*Study).reportTable9},
 		{"findings", "Key findings — headline numbers", (*Study).reportFindings},
+		{"coverage", "Coverage — fetch failure taxonomy and degradation ledger", (*Study).reportCoverage},
 		{"ext-https", "Extension — HTTPS validity (Singanamalla et al.)", (*Study).reportExtHTTPS},
 		{"ext-weight", "Extension — page weight vs development (Habib et al.)", (*Study).reportExtWeight},
 	}

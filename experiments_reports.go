@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cluster"
+	"repro/internal/fetch"
 	"repro/internal/probing"
 	"repro/internal/report"
 	"repro/internal/webgen"
@@ -662,4 +663,74 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// failKindOrder fixes the column order of the coverage report so equal
+// datasets render equal bytes.
+var failKindOrder = []fetch.FailKind{
+	fetch.FailDNS, fetch.FailTimeout, fetch.FailReset,
+	fetch.FailGeoBlocked, fetch.Fail5xx, fetch.FailTruncated, fetch.FailOther,
+}
+
+// reportCoverage renders the collection-coverage and failure-taxonomy
+// accounting: how many landing/internal fetches each country attempted,
+// how many failed and why, retry effort, and which countries degraded
+// to partial or empty data. Under `-fault-profile off` every failure
+// column is zero; under a chaos profile this is the graceful-degradation
+// ledger that replaces an aborted run.
+func (s *Study) reportCoverage() string {
+	codes := make([]string, 0, len(s.ds.PerCountry))
+	for code := range s.ds.PerCountry {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+
+	header := []string{"Country", "Attempted", "OK", "Failed"}
+	for _, k := range failKindOrder {
+		header = append(header, string(k))
+	}
+	header = append(header, "Retries", "VPN tries")
+	t := &report.Table{Header: header}
+	for _, code := range codes {
+		st := s.ds.PerCountry[code]
+		row := []string{code,
+			fmt.Sprint(st.Attempted),
+			fmt.Sprint(st.Attempted - st.FailedURLs),
+			fmt.Sprint(st.FailedURLs)}
+		for _, k := range failKindOrder {
+			row = append(row, fmt.Sprint(st.Failures[string(k)]))
+		}
+		row = append(row, fmt.Sprint(st.Retries), fmt.Sprint(st.VantageAttempts))
+		t.AddRow(row...)
+	}
+
+	var b strings.Builder
+	b.WriteString(t.String())
+	ok := s.ds.TotalAttempted - s.ds.TotalFailedURLs
+	frac := 1.0
+	if s.ds.TotalAttempted > 0 {
+		frac = float64(ok) / float64(s.ds.TotalAttempted)
+	}
+	fmt.Fprintf(&b, "fetch coverage: %d/%d attempts succeeded (%s); %d retries spent\n",
+		ok, s.ds.TotalAttempted, report.Pct(frac), s.ds.TotalRetries)
+	if len(s.ds.FailuresByKind) > 0 {
+		kinds := make([]string, 0, len(s.ds.FailuresByKind))
+		for k := range s.ds.FailuresByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("failure taxonomy:")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, s.ds.FailuresByKind[k])
+		}
+		b.WriteString("\n")
+	}
+	for _, code := range s.ds.FailedCountries {
+		st := s.ds.PerCountry[code]
+		fmt.Fprintf(&b, "FAILED country %s: %s (partial dataset)\n", code, st.FailureReason)
+	}
+	if len(s.ds.FailedCountries) == 0 {
+		b.WriteString("no wholly failed countries\n")
+	}
+	return b.String()
 }

@@ -63,6 +63,22 @@ type Config struct {
 	// SkipTopsites disables the Appendix D popular-site baseline.
 	SkipTopsites bool
 
+	// FaultProfile selects a fault-injection profile for chaos runs:
+	// "off" (default), "mild", "aggressive", or a key=value spec such
+	// as "timeout=0.1,reset=0.05" (see internal/faults.ParseProfile).
+	FaultProfile string
+	// FaultSeed seeds the fault plan independently of Seed, so the
+	// same study can be replayed under different fault draws. 0
+	// inherits Seed.
+	FaultSeed int64
+	// RetryAttempts bounds fetch attempts per URL (0 picks a default
+	// of 3, negative disables retries).
+	RetryAttempts int
+	// RetryBudget caps total retries across the whole study as a cost
+	// safety valve (0 = unlimited). A binding budget trades
+	// byte-reproducibility for bounded work.
+	RetryBudget int64
+
 	// TrendYears evolves the synthetic world forward by N years of the
 	// consolidation trend (extension; related work measures hosting
 	// shifting steadily onto global providers).
@@ -85,6 +101,10 @@ func (c Config) toCore() core.Config {
 		FetchConcurrency:   c.FetchConcurrency,
 		MaxURLsPerCrawl:    c.MaxURLsPerCrawl,
 		SkipTopsites:       c.SkipTopsites,
+		FaultProfile:       c.FaultProfile,
+		FaultSeed:          c.FaultSeed,
+		RetryAttempts:      c.RetryAttempts,
+		RetryBudget:        c.RetryBudget,
 		TrendYears:         c.TrendYears,
 		TrustIPInfo:        c.TrustIPInfo,
 		GlobalThresholdMS:  c.GlobalThresholdMS,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/govclass"
@@ -144,7 +145,20 @@ func fillTotals(env *Env, ds *dataset.Dataset) {
 	for _, st := range ds.PerCountry {
 		ds.TotalLanding += st.LandingURLs
 		ds.TotalInternal += st.InternalURLs
+		ds.TotalAttempted += st.Attempted
+		ds.TotalFailedURLs += st.FailedURLs
+		ds.TotalRetries += st.Retries
+		for kind, n := range st.Failures {
+			if ds.FailuresByKind == nil {
+				ds.FailuresByKind = map[string]int{}
+			}
+			ds.FailuresByKind[kind] += n
+		}
+		if st.Failed {
+			ds.FailedCountries = append(ds.FailedCountries, st.Country)
+		}
 	}
+	sort.Strings(ds.FailedCountries)
 	ds.TotalUniqueURLs = len(urls)
 	ds.TotalHostnames = len(hosts)
 	ds.UniqueIPs = len(ips)

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/export"
+)
+
+// chaosConfig is the shared base for the chaos suite: a small country
+// subset under the aggressive profile — double-digit fault rates on
+// every axis, the worst the paper's harness met on the live web.
+func chaosConfig() Config {
+	return Config{
+		Seed:         42,
+		Scale:        0.02,
+		Countries:    []string{"US", "UY", "NG"},
+		FaultProfile: "aggressive",
+		SkipTopsites: true,
+	}
+}
+
+func exportBytes(t *testing.T, ds *dataset.Dataset) ([]byte, []byte) {
+	t.Helper()
+	var jsonl, csv bytes.Buffer
+	if err := export.WriteJSONL(&jsonl, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.WriteCSV(&csv, ds); err != nil {
+		t.Fatal(err)
+	}
+	return jsonl.Bytes(), csv.Bytes()
+}
+
+// TestChaosDeterministicAcrossConcurrency is the headline guarantee:
+// the same (seed, fault seed, profile) must export byte-identical
+// JSONL and CSV — fault plan, retries, failure taxonomy and all — no
+// matter how the scheduler interleaves the run.
+func TestChaosDeterministicAcrossConcurrency(t *testing.T) {
+	shapes := []struct{ country, fetch int }{
+		{1, 1},
+		{2, 4},
+		{3, 16},
+	}
+	var refJSONL, refCSV []byte
+	for _, sh := range shapes {
+		cfg := chaosConfig()
+		cfg.CountryConcurrency = sh.country
+		cfg.FetchConcurrency = sh.fetch
+		ds, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("concurrency %+v: %v", sh, err)
+		}
+		jsonl, csv := exportBytes(t, ds)
+		if refJSONL == nil {
+			refJSONL, refCSV = jsonl, csv
+			continue
+		}
+		if !bytes.Equal(refJSONL, jsonl) {
+			t.Errorf("JSONL diverged at concurrency %+v", sh)
+		}
+		if !bytes.Equal(refCSV, csv) {
+			t.Errorf("CSV diverged at concurrency %+v", sh)
+		}
+	}
+}
+
+// TestChaosFaultSeedIndependent: changing only the fault seed replays
+// the same study under different faults — output must change (the
+// faults moved) while the clean-run baseline is unaffected by fault
+// seed at profile off.
+func TestChaosFaultSeedIndependent(t *testing.T) {
+	a := chaosConfig()
+	b := chaosConfig()
+	b.FaultSeed = 99
+	dsA, err := Run(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB, err := Run(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := exportBytes(t, dsA)
+	jb, _ := exportBytes(t, dsB)
+	if bytes.Equal(ja, jb) {
+		t.Error("fault seeds 42 and 99 produced identical chaos runs")
+	}
+
+	clean := chaosConfig()
+	clean.FaultProfile = "off"
+	clean.FaultSeed = 7
+	clean2 := chaosConfig()
+	clean2.FaultProfile = "off"
+	clean2.FaultSeed = 1234
+	c1, err := Run(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(context.Background(), clean2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := exportBytes(t, c1)
+	j2, _ := exportBytes(t, c2)
+	if !bytes.Equal(j1, j2) {
+		t.Error("fault seed leaked into a fault-free run")
+	}
+}
+
+// TestChaosRunCompletesWithTaxonomy: under aggressive faults the
+// pipeline must finish and account for every loss in the per-country
+// failure taxonomy instead of aborting.
+func TestChaosRunCompletesWithTaxonomy(t *testing.T) {
+	ds, err := Run(context.Background(), chaosConfig())
+	if err != nil {
+		t.Fatalf("aggressive-profile run aborted: %v", err)
+	}
+	if ds.TotalFailedURLs == 0 {
+		t.Fatal("aggressive profile produced zero failures")
+	}
+	if ds.TotalRetries == 0 {
+		t.Error("no retries recorded under a 10%% timeout rate")
+	}
+	known := map[string]bool{
+		"dns": true, "timeout": true, "reset": true,
+		"geo-blocked": true, "5xx": true, "truncated": true, "other": true,
+	}
+	for kind := range ds.FailuresByKind {
+		if !known[kind] {
+			t.Errorf("unknown failure kind %q in taxonomy", kind)
+		}
+	}
+	// Collection still produced data for the countries whose vantage
+	// validated.
+	if len(ds.Records) == 0 {
+		t.Fatal("no records survived the chaos run")
+	}
+	for code, st := range ds.PerCountry {
+		if st.Failed {
+			continue
+		}
+		if st.Attempted < st.LandingURLs {
+			t.Errorf("%s: attempted %d < %d landings — entries lost", code, st.Attempted, st.LandingURLs)
+		}
+		if st.FailedURLs > st.Attempted {
+			t.Errorf("%s: %d failures out of %d attempts", code, st.FailedURLs, st.Attempted)
+		}
+		sum := 0
+		for _, n := range st.Failures {
+			sum += n
+		}
+		if sum != st.FailedURLs {
+			t.Errorf("%s: taxonomy sums to %d, FailedURLs is %d", code, sum, st.FailedURLs)
+		}
+	}
+}
+
+// TestChaosStormTaxonomyBreadth: retries heal most aggressive-profile
+// faults (that is the point of the Retrier), so a storm profile —
+// rates high enough that three attempts routinely all fault — is what
+// populates several taxonomy buckets at once.
+func TestChaosStormTaxonomyBreadth(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "timeout=0.5,reset=0.4,5xx=0.45,truncate=0.4,dead=0.05,servfail=0.5"
+	ds, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("fault storm aborted the run: %v", err)
+	}
+	if len(ds.FailuresByKind) < 3 {
+		t.Errorf("storm taxonomy too thin: %v", ds.FailuresByKind)
+	}
+	if ds.TotalFailedURLs == 0 || ds.TotalFailedURLs > ds.TotalAttempted {
+		t.Errorf("failed %d of %d attempted", ds.TotalFailedURLs, ds.TotalAttempted)
+	}
+}
+
+// TestChaosNoLostOrDuplicatedRecords: graceful degradation must not
+// mint duplicate records or leak a record for a URL that also counted
+// as a failure.
+func TestChaosNoLostOrDuplicatedRecords(t *testing.T) {
+	ds, err := Run(context.Background(), chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	perCountry := map[string]int{}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		key := r.Country + "|" + r.URL
+		if seen[key] {
+			t.Fatalf("duplicate record %s", key)
+		}
+		seen[key] = true
+		perCountry[r.Country]++
+	}
+	for code, st := range ds.PerCountry {
+		if st.Failed && perCountry[code] > 0 {
+			t.Errorf("%s declared failed but has %d records", code, perCountry[code])
+		}
+		if n := perCountry[code]; n > st.Attempted-st.FailedURLs {
+			t.Errorf("%s: %d records exceed %d usable fetches — a failure also became a record",
+				code, n, st.Attempted-st.FailedURLs)
+		}
+	}
+}
+
+// TestChaosWhollyFailedCountry: flap=1.0 makes every egress fail
+// validation; the run must complete with the countries marked failed
+// (partial dataset + failure summary), not abort.
+func TestChaosWhollyFailedCountry(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "flap=1.0"
+	ds, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("run aborted instead of degrading: %v", err)
+	}
+	if len(ds.Records) != 0 {
+		t.Errorf("%d records from countries with no valid vantage", len(ds.Records))
+	}
+	if len(ds.FailedCountries) != 3 {
+		t.Fatalf("FailedCountries = %v, want all 3", ds.FailedCountries)
+	}
+	for _, code := range cfg.Countries {
+		st := ds.PerCountry[code]
+		if st == nil || !st.Failed {
+			t.Fatalf("%s missing Failed stats entry: %+v", code, st)
+		}
+		if st.FailureReason == "" {
+			t.Errorf("%s has no failure reason", code)
+		}
+		if st.VantageAttempts != maxVantageAttempts {
+			t.Errorf("%s used %d vantage attempts, want the full %d", code, st.VantageAttempts, maxVantageAttempts)
+		}
+	}
+}
+
+// TestChaosEgressFlapRecovery: at a mid flap rate at least one country
+// needs more than one vantage attempt, and every non-failed country
+// recovered within the bounded re-connection loop.
+func TestChaosEgressFlapRecovery(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "flap=0.5"
+	ds, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := false
+	for code, st := range ds.PerCountry {
+		if st.VantageAttempts < 1 || st.VantageAttempts > maxVantageAttempts {
+			t.Errorf("%s: vantage attempts %d out of range", code, st.VantageAttempts)
+		}
+		if st.VantageAttempts > 1 {
+			retried = true
+		}
+		if !st.Failed && len(ds.PerCountry) > 0 && st.LandingURLs > 0 && st.Attempted == 0 {
+			t.Errorf("%s recovered its vantage but crawled nothing", code)
+		}
+	}
+	if !retried {
+		t.Error("flap=0.5 never forced a vantage re-connection across 3 countries")
+	}
+}
+
+// TestChaosPromptCancellation: cancellation must cut through retry
+// backoffs and injected slow responses quickly.
+func TestChaosPromptCancellation(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "slow=1.0,slowdelay=50ms,timeout=0.3"
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := Run(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not stop the chaos run within 5s")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run dragged %v after cancellation", elapsed)
+	}
+}
+
+// TestChaosRetryBudgetBounds: a binding study-wide budget caps total
+// retry spend (the documented cost valve; determinism is traded away,
+// which is why the deterministic tests leave it unlimited).
+func TestChaosRetryBudgetBounds(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.RetryBudget = 10
+	ds, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalRetries > 10 {
+		t.Fatalf("spent %d retries against a budget of 10", ds.TotalRetries)
+	}
+}
+
+// TestCleanRunHasEmptyTaxonomy: with faults off, coverage accounting
+// must report full success — the accounting layer itself cannot invent
+// failures.
+func TestCleanRunHasEmptyTaxonomy(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "off"
+	ds, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalFailedURLs != 0 || len(ds.FailuresByKind) != 0 || len(ds.FailedCountries) != 0 {
+		t.Fatalf("clean run reports failures: %d failed, %v, failed countries %v",
+			ds.TotalFailedURLs, ds.FailuresByKind, ds.FailedCountries)
+	}
+	for code, st := range ds.PerCountry {
+		if st.Attempted == 0 {
+			t.Errorf("%s attempted nothing", code)
+		}
+		if st.VantageAttempts != 1 {
+			t.Errorf("%s: %d vantage attempts on a healthy network", code, st.VantageAttempts)
+		}
+	}
+}
+
+// TestChaosBadProfileRejected: an unparseable profile is a config
+// error, reported before any work starts.
+func TestChaosBadProfileRejected(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.FaultProfile = "timeout=2.0"
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("bad fault profile accepted")
+	}
+}

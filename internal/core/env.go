@@ -9,6 +9,7 @@ package core
 
 import (
 	"repro/internal/dnssim"
+	"repro/internal/faults"
 	"repro/internal/geo/ipinfo"
 	"repro/internal/geo/manycast"
 	"repro/internal/netsim"
@@ -71,6 +72,23 @@ type Config struct {
 	// hosting toward global third parties at the consolidation rate
 	// the related work measures (extension).
 	TrendYears int
+
+	// FaultProfile enables deterministic fault injection (chaos runs):
+	// a named profile ("mild", "aggressive") or a key=value spec per
+	// faults.ParseProfile. Empty or "off" runs the healthy world.
+	FaultProfile string
+	// FaultSeed seeds the fault plan; 0 inherits Seed. Equal fault
+	// seeds inject identical faults at any concurrency.
+	FaultSeed int64
+	// RetryAttempts is the per-URL fetch attempt cap including the
+	// first try; 0 means 3, negative disables retries.
+	RetryAttempts int
+	// RetryBudget caps the retries the whole study may spend (a
+	// safety valve against fault storms; retries past it become
+	// terminal failures). 0 means unlimited. A binding budget trades
+	// byte-reproducibility for bounded cost — leave it unlimited when
+	// comparing chaos runs.
+	RetryBudget int64
 }
 
 // withDefaults fills unset fields.
@@ -96,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.FetchConcurrency <= 0 {
 		c.FetchConcurrency = c.Concurrency
 	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed
+	}
 	return c
 }
 
@@ -112,6 +133,15 @@ type Env struct {
 	IPInfo   *ipinfo.DB
 	Manycast *manycast.Snapshot
 	Prober   *probing.Prober
+
+	// Faults is the seeded fault plan for chaos runs; nil (the usual
+	// case) runs the healthy world. Run materialises it from
+	// Config.FaultProfile when unset, and tests may inject one
+	// directly.
+	Faults *faults.Plan
+	// faultsWired guards the one-time wrap of resolveHost with DNS
+	// fault injection, so a re-entrant Run cannot stack injectors.
+	faultsWired bool
 
 	// resolutions is the study-wide hostname→(IP, WHOIS) cache shared
 	// by every country's annotation pass. Failed lookups are cached too

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/fetch"
 	"repro/internal/govclass"
 	"repro/internal/har"
 	"repro/internal/probing"
@@ -46,6 +48,22 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	if env.resolveHost == nil {
 		env.resolveHost = env.zoneResolve
 	}
+	if env.Faults == nil && cfg.FaultProfile != "" {
+		prof, err := faults.ParseProfile(cfg.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if prof.Enabled() {
+			env.Faults = faults.NewPlan(cfg.FaultSeed, prof)
+		}
+	}
+	// DNS faults wrap the study-wide resolver once: each hostname gets
+	// a bounded, deterministic attempt sequence, so an injected
+	// SERVFAIL on attempt 0 can still resolve on attempt 1.
+	if env.Faults != nil && env.Faults.Profile.DNSServfail > 0 && !env.faultsWired {
+		env.faultsWired = true
+		env.resolveHost = faultyResolve(env.Faults, env.resolveHost)
+	}
 	countries := env.studyCountries()
 
 	ds := &dataset.Dataset{
@@ -63,6 +81,9 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 
 	pool := sched.NewPool(cfg.FetchConcurrency)
 	defer pool.Close()
+	if cfg.RetryBudget > 0 {
+		pool.SetRetryBudget(sched.NewBudget(cfg.RetryBudget))
+	}
 
 	// A fixed team of coordinators pulls country indexes from a
 	// channel; all their fetch/annotate work funnels through the shared
@@ -99,6 +120,9 @@ feed:
 	}
 	for i, res := range results {
 		if res.err != nil {
+			// Only cancellation propagates here; per-country collection
+			// failures degrade to a Failed stats entry inside
+			// runCountry, so one hostile country cannot abort the study.
 			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, res.err)
 		}
 		ds.Records = append(ds.Records, res.records...)
@@ -140,21 +164,80 @@ func (env *Env) studyCountries() []*world.Country {
 	return out
 }
 
+// maxVantageAttempts bounds the §3.2 egress re-connection loop: a
+// vantage that fails location validation is reconnected with a fresh
+// deterministic egress this many times before the country is declared
+// failed.
+const maxVantageAttempts = 3
+
+// connectVantage obtains a location-validated vantage for c, retrying
+// with fresh egresses on validation failure (or on an injected egress
+// flap). It reports the attempts used so coverage stats record how
+// hard the vantage was to pin down.
+func (env *Env) connectVantage(c *world.Country) (*vantage.Point, int, error) {
+	var err error
+	for attempt := 0; attempt < maxVantageAttempts; attempt++ {
+		vp := vantage.ConnectAttempt(c, env.Estate, env.Net, env.Config.Seed, attempt)
+		err = vp.ValidateLocation(env.Net)
+		if err == nil && env.Faults != nil && env.Faults.EgressFlap(c.Code, attempt) {
+			err = fmt.Errorf("faults: egress %v flapped during validation (injected)", vp.Egress)
+		}
+		if err == nil {
+			return vp, attempt + 1, nil
+		}
+	}
+	return nil, maxVantageAttempts, err
+}
+
+// fetchStack assembles the per-country fetch pipeline: the vantage's
+// raw fetcher, the fault injector when a plan is active, and the
+// retrying fetcher on top — classification-driven retries with capped,
+// seed-jittered backoff, drawing on the pool's study-wide retry
+// budget.
+func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier {
+	if env.Faults != nil {
+		inner = &faults.Fetcher{Inner: inner, Plan: env.Faults}
+	}
+	r := &fetch.Retrier{
+		Inner: inner,
+		Policy: fetch.RetryPolicy{
+			MaxAttempts: env.Config.RetryAttempts,
+			Seed:        env.Config.Seed,
+		},
+	}
+	if b := pool.RetryBudget(); b != nil {
+		r.Budget = b
+	}
+	return r
+}
+
 // runCountry performs the §3 pipeline for one country; every fetch and
-// annotation runs on the shared pool.
+// annotation runs on the shared pool. Collection failures degrade
+// gracefully: an unvalidatable vantage yields a Failed stats entry
+// (the study continues without the country), and per-URL failures
+// classify into the stats' coverage taxonomy instead of vanishing.
 func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Pool) ([]dataset.URLRecord, *dataset.CountryStats, map[govclass.URLMethod]int, error) {
 	cfg := env.Config
-
-	// §3.2: connect through an in-country VPN vantage and validate its
-	// claimed location before trusting it.
-	vp := vantage.Connect(c, env.Estate, env.Net, cfg.Seed)
-	if err := vp.ValidateLocation(env.Net); err != nil {
-		return nil, nil, nil, fmt.Errorf("vantage validation: %w", err)
+	landings := env.Estate.LandingURLs[c.Code]
+	stats := &dataset.CountryStats{
+		Country:     c.Code,
+		Region:      c.Region,
+		LandingURLs: len(landings),
 	}
 
-	landings := env.Estate.LandingURLs[c.Code]
+	// §3.2: connect through an in-country VPN vantage and validate its
+	// claimed location before trusting it; reconnect on failure.
+	vp, attempts, vErr := env.connectVantage(c)
+	stats.VantageAttempts = attempts
+	if vErr != nil {
+		stats.Failed = true
+		stats.FailureReason = fmt.Sprintf("vantage validation: %v", vErr)
+		return nil, stats, nil, nil
+	}
+
+	retrier := env.fetchStack(vp.Fetcher, pool)
 	cr := &crawler.Crawler{
-		Fetcher: vp.Fetcher,
+		Fetcher: retrier,
 		Config: crawler.Config{
 			MaxDepth: cfg.CrawlDepth,
 			MaxURLs:  cfg.MaxURLsPerCrawl,
@@ -166,6 +249,15 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	archive, err := cr.Crawl(ctx, landings)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+
+	// Coverage accounting: every crawled URL either produced a usable
+	// entry or a classified failure.
+	stats.Attempted = len(archive.Entries)
+	for i := range archive.Entries {
+		if f := archive.Entries[i].Failure; f != "" {
+			stats.AddFailure(f)
+		}
 	}
 
 	// §3.3: identify internal government URLs.
@@ -186,7 +278,9 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	var candidates []candidate
 	for i := range archive.Entries {
 		entry := &archive.Entries[i]
-		if entry.Status != 200 {
+		// Failure covers the degraded-but-200 cases (truncation): an
+		// entry is either a coverage loss or a record, never both.
+		if entry.Status != 200 || entry.Failure != "" {
 			continue
 		}
 		method := classifier.Classify(entry.Host)
@@ -216,20 +310,24 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	hostSeen := map[string]bool{}
 	for i := range recs {
 		if errs[i] != nil {
-			continue // unresolvable hostnames drop out, as in any crawl
+			// Unresolvable hostnames drop out of the records, as in any
+			// crawl — but no longer silently: resolution failures are
+			// coverage losses too.
+			kind := fetch.ClassifyError(errs[i])
+			if kind == fetch.FailOther {
+				kind = fetch.FailDNS // annotation errors are resolution failures
+			}
+			stats.AddFailure(string(kind))
+			continue
 		}
 		recs[i].Method = string(candidates[i].method)
 		records = append(records, recs[i])
 		hostSeen[archive.Entries[candidates[i].idx].Host] = true
 	}
 
-	stats := &dataset.CountryStats{
-		Country:      c.Code,
-		Region:       c.Region,
-		LandingURLs:  len(landings),
-		InternalURLs: methods[govclass.MethodTLD] + methods[govclass.MethodDomain] + methods[govclass.MethodSAN],
-		Hostnames:    len(hostSeen),
-	}
+	stats.InternalURLs = methods[govclass.MethodTLD] + methods[govclass.MethodDomain] + methods[govclass.MethodSAN]
+	stats.Hostnames = len(hostSeen)
+	stats.Retries = int(retrier.Stats().Retries)
 	return records, stats, methods, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/whois"
 )
 
@@ -56,6 +57,29 @@ func (c *rescache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// resolveAttempts bounds the per-hostname resolution attempt sequence
+// under DNS fault injection — the same shape dnswire.Resolver uses for
+// transient upstream failures.
+const resolveAttempts = 3
+
+// faultyResolve wraps a resolveFunc with the plan's DNS faults: each
+// attempt first consults the plan (deterministically per hostname and
+// attempt), so an injected SERVFAIL can clear on a later attempt and
+// the same seed always resolves — or fails — the same set of names.
+func faultyResolve(plan *faults.Plan, inner resolveFunc) resolveFunc {
+	return func(host string) (netip.Addr, whois.Record, error) {
+		var lastErr error
+		for attempt := 0; attempt < resolveAttempts; attempt++ {
+			if err := plan.DNSFault(host, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+			return inner(host)
+		}
+		return netip.Addr{}, whois.Record{}, lastErr
+	}
 }
 
 // zoneResolve is the production resolveFunc: DNS through the synthetic

@@ -35,7 +35,9 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sche
 			landings = append(landings, s.Landing...)
 		}
 		cr := &crawler.Crawler{
-			Fetcher: vp.Fetcher,
+			// The baseline rides the same fault/retry stack as the
+			// government crawls, so chaos runs degrade it identically.
+			Fetcher: env.fetchStack(vp.Fetcher, pool),
 			Config: crawler.Config{
 				MaxDepth: 1, // §5.1: top-site scraping stops one level down
 				Country:  code,
@@ -49,7 +51,7 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sche
 		}
 
 		for _, entry := range archive.Entries {
-			if entry.Status != 200 {
+			if entry.Status != 200 || entry.Failure != "" {
 				continue
 			}
 			site := env.Estate.Site(entry.Host)

@@ -66,10 +66,12 @@ type fetched struct {
 
 // Crawl fetches the landing URLs and everything reachable from them
 // within the configured depth. Fetch errors (unknown hosts, network
-// failures) are recorded as status-0 entries and do not abort the
-// crawl, mirroring how a measurement harness tolerates partial
-// failures. Cancellation abandons queued work promptly and returns the
-// context error alongside the partial archive.
+// failures) are recorded as status-0 entries carrying their failure
+// classification and do not abort the crawl, mirroring how a
+// measurement harness tolerates partial failures; geo-blocks, 5xx and
+// truncated bodies likewise classify into the entry's Failure bucket.
+// Cancellation abandons queued work promptly and returns the context
+// error alongside the partial archive.
 func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, error) {
 	maxDepth := c.Config.MaxDepth
 	if maxDepth == 0 {
@@ -177,13 +179,22 @@ func (c *Crawler) fetchOne(ctx context.Context, t task, maxDepth int) (har.Entry
 	}
 	resp, err := c.Fetcher.Fetch(ctx, t.url)
 	if err != nil {
-		return entry, nil // status 0: unreachable
+		// Status 0: unreachable. The classification survives into the
+		// archive so coverage stats can say *why*.
+		entry.Failure = string(fetch.ClassifyError(err))
+		return entry, nil
 	}
 	entry.Status = resp.Status
 	entry.ContentType = resp.ContentType
 	entry.BodySize = resp.BodySize
 	if entry.BodySize == 0 {
 		entry.BodySize = int64(len(resp.Body))
+	}
+	if kind := fetch.ClassifyResponse(resp); kind != fetch.FailNone {
+		// Geo-blocks, 5xx and truncations are failures even with a
+		// response in hand; a truncated page's links are not trusted.
+		entry.Failure = string(kind)
+		return entry, nil
 	}
 	if resp.Status != 200 || t.depth >= maxDepth || !isHTML(resp.ContentType) {
 		return entry, nil

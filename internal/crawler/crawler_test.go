@@ -305,3 +305,85 @@ func TestCrawlConcurrencyStress(t *testing.T) {
 		t.Fatalf("entries = %d, want %d", len(archive.Entries), want)
 	}
 }
+
+// TestCrawlPartialArchiveOnCancellation pins the graceful-degradation
+// contract: a cancelled crawl returns ctx.Err() alongside the partial
+// archive, and that archive is well-formed — completed levels only, no
+// duplicate URLs, every entry a finished fetch (entries never record a
+// cancelled in-flight slot as content).
+func TestCrawlPartialArchiveOnCancellation(t *testing.T) {
+	site := &fakeSite{maxDepth: 10, fanout: 3, slow: 2 * time.Millisecond}
+	c := &Crawler{Fetcher: site, Config: Config{MaxDepth: 10, Concurrency: 4}}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	archive, err := c.Crawl(ctx, []string{"https://site.test/p0-0"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context error", err)
+	}
+	if archive == nil {
+		t.Fatal("cancelled crawl returned a nil archive — the partial data is lost")
+	}
+	seen := map[string]bool{}
+	for _, e := range archive.Entries {
+		if seen[e.URL] {
+			t.Fatalf("duplicate entry %q in partial archive", e.URL)
+		}
+		seen[e.URL] = true
+		if e.Status == 0 && e.Failure == "" {
+			t.Fatalf("entry %q recorded with neither status nor failure", e.URL)
+		}
+	}
+	// The crawl was cut mid-tree, so the partial archive must be a
+	// strict prefix of the full 10-level fan-out.
+	if len(archive.Entries) == 0 {
+		t.Fatal("nothing crawled before the deadline; slow fetches too slow for the test window")
+	}
+}
+
+// TestCrawlTagsEntriesWithFailureKind: fetch errors and degraded
+// responses are classified into the har entry's Failure field, and a
+// truncated page's links are not trusted.
+func TestCrawlTagsEntriesWithFailureKind(t *testing.T) {
+	site := &fakeSite{maxDepth: 3, fanout: 2}
+	trunc := &truncatingFetcher{inner: site, url: "https://site.test/p1-0"}
+	c := &Crawler{Fetcher: trunc, Config: Config{MaxDepth: 7, Concurrency: 2}}
+	archive, err := c.Crawl(context.Background(), []string{"https://site.test/p0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byURL := map[string]string{}
+	for _, e := range archive.Entries {
+		byURL[e.URL] = e.Failure
+	}
+	if byURL["https://site.test/p1-0"] != string(fetch.FailTruncated) {
+		t.Fatalf("truncated entry tagged %q", byURL["https://site.test/p1-0"])
+	}
+	if byURL["https://site.test/p0-0"] != "" {
+		t.Fatalf("healthy entry tagged %q", byURL["https://site.test/p0-0"])
+	}
+	// p1-0's subtree (p2-0, p2-1) must be absent: links on a cut-short
+	// page cannot be trusted.
+	for _, u := range []string{"https://site.test/p2-0", "https://site.test/p2-1"} {
+		if _, ok := byURL[u]; ok {
+			t.Fatalf("link %s extracted from a truncated page", u)
+		}
+	}
+	// p1-1's subtree is intact.
+	if _, ok := byURL["https://site.test/p2-2"]; !ok {
+		t.Fatal("healthy sibling subtree missing")
+	}
+}
+
+// truncatingFetcher marks one URL's response as truncated.
+type truncatingFetcher struct {
+	inner fetch.Fetcher
+	url   string
+}
+
+func (f *truncatingFetcher) Fetch(ctx context.Context, url string) (*fetch.Response, error) {
+	resp, err := f.inner.Fetch(ctx, url)
+	if err == nil && url == f.url {
+		resp.Truncated = true
+	}
+	return resp, err
+}

@@ -60,13 +60,40 @@ func (r *URLRecord) RegDomestic() bool {
 	return r.RegCountry != "" && r.RegCountry == r.Country
 }
 
-// CountryStats is the per-country slice of Table 8.
+// CountryStats is the per-country slice of Table 8, extended with the
+// paper-style coverage accounting (Tables 3–4 report the harness's own
+// failure statistics; a pipeline that silently drops failures cannot).
 type CountryStats struct {
 	Country      string
 	Region       world.Region
 	LandingURLs  int
 	InternalURLs int
 	Hostnames    int
+
+	// Coverage accounting.
+	Attempted  int            // URLs fetched during the crawl
+	FailedURLs int            // fetches that classified as failures
+	Failures   map[string]int // failure counts by taxonomy bucket (fetch.FailKind)
+	Retries    int            // retry attempts the fetch stack spent
+	// VantageAttempts counts VPN connections used to obtain a
+	// validated egress (1 = the first egress validated).
+	VantageAttempts int
+
+	// Failed marks a country whose collection failed wholesale (no
+	// validated vantage within the re-connection bound); its records
+	// are absent and FailureReason says why. The study still completes
+	// with a partial dataset.
+	Failed        bool
+	FailureReason string
+}
+
+// AddFailure counts one failure of the given kind.
+func (s *CountryStats) AddFailure(kind string) {
+	if s.Failures == nil {
+		s.Failures = map[string]int{}
+	}
+	s.Failures[kind]++
+	s.FailedURLs++
 }
 
 // Dataset is the complete study output.
@@ -90,6 +117,14 @@ type Dataset struct {
 	// Method yields (Table 1 discussion in §4.2).
 	MethodTLD, MethodDomain, MethodSAN int
 	Discarded                          int
+
+	// Coverage totals, aggregated from PerCountry: how much of the
+	// attempted collection actually landed, and why the rest did not.
+	TotalAttempted  int
+	TotalFailedURLs int
+	FailuresByKind  map[string]int
+	TotalRetries    int
+	FailedCountries []string // sorted codes of countries that failed wholesale
 
 	Scale float64
 	Seed  int64

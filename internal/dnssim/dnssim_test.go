@@ -59,11 +59,16 @@ func TestResolveWWWAlias(t *testing.T) {
 
 func TestResolveTopsiteCNAMEChain(t *testing.T) {
 	z, estate := buildZones(t)
+	// Every CNAME-fronted topsite, not a map-order-dependent sample:
+	// shared CNAME targets once aliased one country's endpoint over
+	// another's, and only some iteration orders surfaced it.
+	checked := 0
 	for _, sites := range estate.Topsites {
 		for _, s := range sites {
 			if s.CNAME == "" {
 				continue
 			}
+			checked++
 			res, err := z.Resolve(s.Host)
 			if err != nil {
 				t.Fatalf("resolve %s: %v", s.Host, err)
@@ -72,12 +77,13 @@ func TestResolveTopsiteCNAMEChain(t *testing.T) {
 				t.Fatalf("CNAME chain for %s = %v, want first hop %s", s.Host, res.Chain, s.CNAME)
 			}
 			if res.Addr != s.Endpoint.Addr {
-				t.Fatalf("chain endpoint mismatch for %s", s.Host)
+				t.Fatalf("chain endpoint %v for %s, want the site endpoint %v", res.Addr, s.Host, s.Endpoint.Addr)
 			}
-			return
 		}
 	}
-	t.Skip("no CNAME-fronted topsite in sample")
+	if checked == 0 {
+		t.Skip("no CNAME-fronted topsite in sample")
+	}
 }
 
 func TestResolveNXDomain(t *testing.T) {

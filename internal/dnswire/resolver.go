@@ -28,6 +28,13 @@ type Resolver struct {
 	// NegativeTTL is the cache lifetime of NXDOMAIN answers; defaults
 	// to 30 s.
 	NegativeTTL time.Duration
+	// FaultHook, when set, is consulted before each exchange attempt
+	// and its non-nil error stands in for the exchange (chaos runs
+	// inject SERVFAIL here via faults.Plan.ResolverHook). Errors from
+	// the hook count against the same retry allowance as real
+	// failures, so an injected fault on attempt 0 can still resolve on
+	// attempt 1.
+	FaultHook func(name string, attempt int) error
 	// now allows tests to control time.
 	now func() time.Time
 
@@ -168,6 +175,12 @@ func (r *Resolver) query(ctx context.Context, name string, id uint16) (Result, t
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
+		if r.FaultHook != nil {
+			if err := r.FaultHook(name, i); err != nil {
+				lastErr = err
+				continue
+			}
+		}
 		qctx, cancel := context.WithTimeout(ctx, r.timeout())
 		resp, err := Exchange(qctx, r.Server, NewQuery(id+uint16(i), name, TypeA))
 		cancel()

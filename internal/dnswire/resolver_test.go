@@ -189,3 +189,49 @@ func TestResolverFlush(t *testing.T) {
 		t.Fatalf("flush ineffective: %d upstream queries", got)
 	}
 }
+
+// TestResolverFaultHookRetries: an injected fault on early attempts
+// consumes the same retry allowance as real failures, and the lookup
+// still succeeds once the hook clears.
+func TestResolverFaultHookRetries(t *testing.T) {
+	r, h := startResolver(t)
+	r.Retries = 2 // 3 attempts
+	var hookCalls atomic.Int64
+	r.FaultHook = func(name string, attempt int) error {
+		hookCalls.Add(1)
+		if attempt < 2 {
+			return errors.New("SERVFAIL (injected)")
+		}
+		return nil
+	}
+	res, err := r.LookupA(context.Background(), "direct.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addr != netip.MustParseAddr("192.0.2.1") {
+		t.Fatalf("result = %+v", res)
+	}
+	if hookCalls.Load() != 3 {
+		t.Errorf("hook consulted %d times, want 3", hookCalls.Load())
+	}
+	// The wire was only touched on the attempt the hook allowed.
+	if n := h.count("direct.test."); n != 1 {
+		t.Errorf("server saw %d queries, want 1", n)
+	}
+}
+
+// TestResolverFaultHookExhaustsRetries: a hook that never clears turns
+// the lookup into an error without ever touching the wire.
+func TestResolverFaultHookExhaustsRetries(t *testing.T) {
+	r, h := startResolver(t)
+	r.Retries = 1
+	injected := errors.New("SERVFAIL (injected)")
+	r.FaultHook = func(name string, attempt int) error { return injected }
+	_, err := r.LookupA(context.Background(), "direct.test")
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+	if n := h.count("direct.test."); n != 0 {
+		t.Errorf("server saw %d queries through a permanent fault, want 0", n)
+	}
+}

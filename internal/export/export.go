@@ -1,10 +1,12 @@
 // Package export persists and reloads study datasets. The paper makes
 // its dataset "available upon request" (§1); this package defines that
 // interchange format: a JSON-lines stream (one annotated URL record
-// per line, with a header object carrying study metadata) and a CSV
-// variant for spreadsheet-bound consumers. Round-tripping is lossless
-// for every field the analyses read, so a saved dataset can be
-// re-analysed without re-running the pipeline.
+// per line, with a header object carrying study metadata and trailing
+// per-country coverage-statistics lines) and a CSV variant for
+// spreadsheet-bound consumers. Round-tripping is lossless for every
+// field the analyses read, so a saved dataset can be re-analysed
+// without re-running the pipeline — including the failure taxonomy a
+// chaos run produces.
 package export
 
 import (
@@ -14,23 +16,65 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/world"
 )
 
-// FormatVersion identifies the interchange format.
-const FormatVersion = 1
+// FormatVersion identifies the interchange format. Version 2 added
+// per-country coverage statistics lines (kind "country"); version 1
+// files still load, with empty PerCountry.
+const FormatVersion = 2
 
 // header is the first line of a JSONL export.
 type header struct {
-	Format  string  `json:"format"`
-	Version int     `json:"version"`
-	Seed    int64   `json:"seed"`
-	Scale   float64 `json:"scale"`
-	Records int     `json:"records"`
-	Topsite int     `json:"topsites"`
+	Format    string  `json:"format"`
+	Version   int     `json:"version"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Records   int     `json:"records"`
+	Topsite   int     `json:"topsites"`
+	Countries int     `json:"countries,omitempty"`
+}
+
+// jsonCountryStats is the wire form of one country's statistics,
+// including the coverage/failure accounting of Tables 3–4.
+type jsonCountryStats struct {
+	Kind            string         `json:"kind"` // "country"
+	Country         string         `json:"country"`
+	Region          string         `json:"region"`
+	LandingURLs     int            `json:"landingURLs"`
+	InternalURLs    int            `json:"internalURLs"`
+	Hostnames       int            `json:"hostnames"`
+	Attempted       int            `json:"attempted,omitempty"`
+	FailedURLs      int            `json:"failedURLs,omitempty"`
+	Failures        map[string]int `json:"failures,omitempty"`
+	Retries         int            `json:"retries,omitempty"`
+	VantageAttempts int            `json:"vantageAttempts,omitempty"`
+	Failed          bool           `json:"failed,omitempty"`
+	FailureReason   string         `json:"failureReason,omitempty"`
+}
+
+func statsToWire(s *dataset.CountryStats) jsonCountryStats {
+	return jsonCountryStats{
+		Kind: "country", Country: s.Country, Region: string(s.Region),
+		LandingURLs: s.LandingURLs, InternalURLs: s.InternalURLs, Hostnames: s.Hostnames,
+		Attempted: s.Attempted, FailedURLs: s.FailedURLs, Failures: s.Failures,
+		Retries: s.Retries, VantageAttempts: s.VantageAttempts,
+		Failed: s.Failed, FailureReason: s.FailureReason,
+	}
+}
+
+func statsFromWire(w *jsonCountryStats) *dataset.CountryStats {
+	return &dataset.CountryStats{
+		Country: w.Country, Region: world.Region(w.Region),
+		LandingURLs: w.LandingURLs, InternalURLs: w.InternalURLs, Hostnames: w.Hostnames,
+		Attempted: w.Attempted, FailedURLs: w.FailedURLs, Failures: w.Failures,
+		Retries: w.Retries, VantageAttempts: w.VantageAttempts,
+		Failed: w.Failed, FailureReason: w.FailureReason,
+	}
 }
 
 // jsonRecord is the wire form of a URL record.
@@ -87,8 +131,10 @@ func fromWire(w *jsonRecord) (dataset.URLRecord, error) {
 	return r, nil
 }
 
-// WriteJSONL streams the dataset as JSON lines: a header object
-// followed by one record object per line.
+// WriteJSONL streams the dataset as JSON lines: a header object, one
+// record object per line, then one coverage-statistics object per
+// country in sorted code order (so equal datasets serialise to equal
+// bytes).
 func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -96,6 +142,7 @@ func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
 		Format: "govhost-dataset", Version: FormatVersion,
 		Seed: ds.Seed, Scale: ds.Scale,
 		Records: len(ds.Records), Topsite: len(ds.Topsites),
+		Countries: len(ds.PerCountry),
 	}); err != nil {
 		return err
 	}
@@ -109,51 +156,99 @@ func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
 			return err
 		}
 	}
+	codes := make([]string, 0, len(ds.PerCountry))
+	for code := range ds.PerCountry {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		if err := enc.Encode(statsToWire(ds.PerCountry[code])); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
-// ReadJSONL reloads a dataset written by WriteJSONL. Per-country
-// statistics and totals are not part of the interchange format; the
-// caller re-derives what it needs from the records.
+// maxLine bounds one JSONL line; URL records are a few hundred bytes,
+// so 1 MiB is comfortably paranoid.
+const maxLine = 1 << 20
+
+// ReadJSONL reloads a dataset written by WriteJSONL, including the
+// per-country coverage statistics (absent from version-1 files, which
+// still load). Dataset totals are not part of the interchange format;
+// the caller re-derives what it needs from records and stats.
 func ReadJSONL(r io.Reader) (*dataset.Dataset, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("export: header: %w", err)
+		}
+		return nil, fmt.Errorf("export: empty input")
+	}
 	var h header
-	if err := dec.Decode(&h); err != nil {
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
 		return nil, fmt.Errorf("export: header: %w", err)
 	}
 	if h.Format != "govhost-dataset" {
 		return nil, fmt.Errorf("export: not a govhost dataset (format %q)", h.Format)
 	}
-	if h.Version != FormatVersion {
+	if h.Version < 1 || h.Version > FormatVersion {
 		return nil, fmt.Errorf("export: unsupported version %d", h.Version)
 	}
 	ds := &dataset.Dataset{
 		Seed: h.Seed, Scale: h.Scale,
 		PerCountry: map[string]*dataset.CountryStats{},
 	}
-	for {
-		var w jsonRecord
-		if err := dec.Decode(&w); err == io.EOF {
-			break
-		} else if err != nil {
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
 			return nil, fmt.Errorf("export: record: %w", err)
 		}
-		rec, err := fromWire(&w)
-		if err != nil {
-			return nil, err
-		}
-		switch w.Kind {
+		switch probe.Kind {
+		case "country":
+			var w jsonCountryStats
+			if err := json.Unmarshal(line, &w); err != nil {
+				return nil, fmt.Errorf("export: country stats: %w", err)
+			}
+			ds.PerCountry[w.Country] = statsFromWire(&w)
 		case "topsite":
+			rec, err := recordFromLine(line)
+			if err != nil {
+				return nil, err
+			}
 			ds.Topsites = append(ds.Topsites, rec)
 		default:
+			rec, err := recordFromLine(line)
+			if err != nil {
+				return nil, err
+			}
 			ds.Records = append(ds.Records, rec)
 		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
 	}
 	if len(ds.Records) != h.Records || len(ds.Topsites) != h.Topsite {
 		return nil, fmt.Errorf("export: truncated dataset: %d/%d records, %d/%d topsites",
 			len(ds.Records), h.Records, len(ds.Topsites), h.Topsite)
 	}
+	if h.Version >= 2 && len(ds.PerCountry) != h.Countries {
+		return nil, fmt.Errorf("export: truncated dataset: %d/%d country stats",
+			len(ds.PerCountry), h.Countries)
+	}
 	return ds, nil
+}
+
+func recordFromLine(line []byte) (dataset.URLRecord, error) {
+	var w jsonRecord
+	if err := json.Unmarshal(line, &w); err != nil {
+		return dataset.URLRecord{}, fmt.Errorf("export: record: %w", err)
+	}
+	return fromWire(&w)
 }
 
 // csvHeader is the column layout of the CSV export.

@@ -141,3 +141,93 @@ func TestAnalysesSurviveRoundTrip(t *testing.T) {
 		t.Fatal("country sets differ after round trip")
 	}
 }
+
+// statsDataset is sampleDataset with per-country coverage statistics,
+// including a wholly failed country.
+func statsDataset() *dataset.Dataset {
+	ds := sampleDataset()
+	ds.PerCountry = map[string]*dataset.CountryStats{
+		"UY": {
+			Country: "UY", Region: world.LAC,
+			LandingURLs: 1, InternalURLs: 3, Hostnames: 2,
+			Attempted: 6, FailedURLs: 2,
+			Failures: map[string]int{"timeout": 1, "5xx": 1},
+			Retries:  4, VantageAttempts: 1,
+		},
+		"MX": {
+			Country: "MX", Region: world.LAC,
+			Failed: true, FailureReason: "vantage: egress flapping (3 attempts)",
+			VantageAttempts: 3,
+		},
+	}
+	return ds
+}
+
+func TestJSONLRoundTripWithStats(t *testing.T) {
+	ds := statsDataset()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerCountry) != 2 {
+		t.Fatalf("reloaded %d country stats, want 2", len(got.PerCountry))
+	}
+	if !reflect.DeepEqual(got.PerCountry["UY"], ds.PerCountry["UY"]) {
+		t.Errorf("UY stats: got %+v, want %+v", got.PerCountry["UY"], ds.PerCountry["UY"])
+	}
+	if !reflect.DeepEqual(got.PerCountry["MX"], ds.PerCountry["MX"]) {
+		t.Errorf("MX stats: got %+v, want %+v", got.PerCountry["MX"], ds.PerCountry["MX"])
+	}
+}
+
+// TestJSONLStatsDeterministic: equal datasets must serialise to equal
+// bytes regardless of map iteration order — the chaos suite's
+// byte-identity check leans on this.
+func TestJSONLStatsDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, statsDataset()); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatal("two serialisations of the same dataset differ")
+		}
+	}
+}
+
+// TestReadJSONLAcceptsVersion1: files written before the stats lines
+// existed still load, with empty PerCountry.
+func TestReadJSONLAcceptsVersion1(t *testing.T) {
+	v1 := `{"format":"govhost-dataset","version":1,"seed":1,"scale":0.1,"records":1,"topsites":0}
+{"url":"https://www.gub.uy/","host":"www.gub.uy","country":"UY","region":"LAC","bytes":1,"depth":0,"ip":"179.27.169.201","asn":6057,"org":"x","regCountry":"UY","category":0,"kind":"gov"}
+`
+	ds, err := ReadJSONL(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 1 || len(ds.PerCountry) != 0 {
+		t.Fatalf("v1 load: %d records, %d stats", len(ds.Records), len(ds.PerCountry))
+	}
+}
+
+// TestReadJSONLDetectsMissingStats: a v2 header promising more country
+// lines than present is a truncated file.
+func TestReadJSONLDetectsMissingStats(t *testing.T) {
+	ds := statsDataset()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	cut := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if _, err := ReadJSONL(strings.NewReader(cut)); err == nil {
+		t.Fatal("stats-truncated file loaded without error")
+	}
+}

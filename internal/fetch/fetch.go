@@ -2,10 +2,18 @@
 // the crawler and the two backends that implement it: the in-memory
 // estate fetcher (fast, used for full-scale studies) and the real
 // net/http fetcher (used in integration tests and examples against the
-// simulated web server).
+// simulated web server). It also owns the failure taxonomy the
+// pipeline's coverage statistics are built from: every fetch outcome —
+// error or response — classifies into exactly one FailKind, and the
+// classification decides whether a retry can help.
 package fetch
 
-import "context"
+import (
+	"context"
+	"errors"
+	"net"
+	"syscall"
+)
 
 // Response is the result of fetching one URL.
 type Response struct {
@@ -16,10 +24,129 @@ type Response struct {
 	// backend reports the generator's ground-truth size without
 	// materialising padding; the HTTP backend reports len(Body).
 	BodySize int64
+	// Truncated marks a body that was cut short — by a read cap, a
+	// broken transfer, or an injected fault — so downstream stages can
+	// treat the entry as a partial failure instead of silently parsing
+	// half a page.
+	Truncated bool
 }
 
 // Fetcher fetches URLs from a fixed vantage point. Implementations
 // must be safe for concurrent use.
 type Fetcher interface {
 	Fetch(ctx context.Context, url string) (*Response, error)
+}
+
+// AttemptFetcher is implemented by fetchers whose behaviour depends on
+// the retry attempt number — chiefly the deterministic fault injector,
+// which must give attempt 2 a different (but seed-stable) outcome than
+// attempt 0 so that retries can recover. The Retrier passes the
+// attempt through when its inner fetcher implements this.
+type AttemptFetcher interface {
+	FetchAttempt(ctx context.Context, url string, attempt int) (*Response, error)
+}
+
+// FailKind is one bucket of the failure taxonomy (paper Tables 3–4
+// report coverage in these terms).
+type FailKind string
+
+// The taxonomy. FailNone means the fetch is usable.
+const (
+	FailNone       FailKind = ""
+	FailDNS        FailKind = "dns"         // name did not resolve (NXDOMAIN, SERVFAIL)
+	FailTimeout    FailKind = "timeout"     // connection or read deadline expired
+	FailReset      FailKind = "reset"       // connection reset mid-transfer
+	FailGeoBlocked FailKind = "geo-blocked" // 403 from a domestically restricted site
+	Fail5xx        FailKind = "5xx"         // upstream server error
+	FailTruncated  FailKind = "truncated"   // body cut short
+	FailOther      FailKind = "other"       // anything unclassified
+)
+
+// ErrHostNotFound marks DNS-style resolution failures; backends wrap
+// it so classification does not depend on error strings.
+var ErrHostNotFound = errors.New("fetch: host not found")
+
+// Failure lets an error name its own taxonomy bucket (the fault
+// injector's SERVFAIL does, since no stdlib type models it).
+type Failure interface {
+	FailKind() FailKind
+}
+
+// Transient marks errors that a retry has a chance of clearing even
+// when the taxonomy alone would call them terminal.
+type Transient interface {
+	Transient() bool
+}
+
+// ClassifyError maps a fetch error into the taxonomy. A nil error is
+// FailNone.
+func ClassifyError(err error) FailKind {
+	if err == nil {
+		return FailNone
+	}
+	var f Failure
+	if errors.As(err, &f) {
+		return f.FailKind()
+	}
+	if errors.Is(err, ErrHostNotFound) {
+		return FailDNS
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return FailDNS
+	}
+	var te interface{ Timeout() bool }
+	if errors.As(err, &te) && te.Timeout() {
+		return FailTimeout
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return FailReset
+	}
+	return FailOther
+}
+
+// ClassifyResponse maps a completed response into the taxonomy;
+// FailNone for usable responses (any status outside 403/5xx with a
+// complete body — a 404 is a valid answer, not a harness failure).
+func ClassifyResponse(resp *Response) FailKind {
+	switch {
+	case resp == nil:
+		return FailOther
+	case resp.Status == 403:
+		return FailGeoBlocked
+	case resp.Status >= 500:
+		return Fail5xx
+	case resp.Truncated:
+		return FailTruncated
+	}
+	return FailNone
+}
+
+// RetryableKind reports whether a failure bucket is worth retrying:
+// timeouts, resets, server errors and truncations are transient on the
+// live web; NXDOMAIN and geo-blocks are verdicts.
+func RetryableKind(k FailKind) bool {
+	switch k {
+	case FailTimeout, FailReset, Fail5xx, FailTruncated:
+		return true
+	}
+	return false
+}
+
+// RetryableError reports whether retrying the fetch might succeed. An
+// explicit Transient marker wins; otherwise the taxonomy decides, with
+// temporary DNS errors (SERVFAIL-style) also retryable.
+func RetryableError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tr Transient
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return dnsErr.Temporary()
+	}
+	return RetryableKind(ClassifyError(err))
 }

@@ -23,6 +23,10 @@ type Entry struct {
 	Landing     string `json:"landing"`       // the landing URL this crawl started from
 	Country     string `json:"country"`       // vantage country code
 	FromVPN     string `json:"vpn,omitempty"` // VPN service used
+	// Failure is the fetch.FailKind bucket when the fetch did not
+	// produce a usable page ("" for clean fetches): dns, timeout,
+	// reset, geo-blocked, 5xx, truncated, other.
+	Failure string `json:"failure,omitempty"`
 }
 
 // Archive is an ordered collection of entries for one crawl.
@@ -68,6 +72,18 @@ func (a *Archive) URLs() []string {
 		out = append(out, u)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// FailureCounts tallies entries per failure bucket; clean entries are
+// not counted. The map is freshly allocated.
+func (a *Archive) FailureCounts() map[string]int {
+	out := map[string]int{}
+	for i := range a.Entries {
+		if f := a.Entries[i].Failure; f != "" {
+			out[f]++
+		}
+	}
 	return out
 }
 

@@ -45,9 +45,17 @@ func (n *Net) Ping(vantage string, addr netip.Addr, attempt int) (float64, bool)
 // MinPing returns the minimum RTT over k attempts (§3.5 sends three
 // pings and keeps the minimum), and false for unresponsive targets.
 func (n *Net) MinPing(vantage string, addr netip.Addr, k int) (float64, bool) {
+	return n.MinPingFrom(vantage, addr, k, 0)
+}
+
+// MinPingFrom is MinPing starting at attempt index base: distinct
+// bases draw distinct per-attempt jitter, which is how a probe
+// sequence (e.g. vantage validation's five probes) gets independent
+// yet reproducible measurements instead of five copies of one.
+func (n *Net) MinPingFrom(vantage string, addr netip.Addr, k, base int) (float64, bool) {
 	best := math.Inf(1)
 	ok := false
-	for i := 0; i < k; i++ {
+	for i := base; i < base+k; i++ {
 		if rtt, resp := n.Ping(vantage, addr, i); resp {
 			ok = true
 			if rtt < best {

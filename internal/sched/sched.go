@@ -21,7 +21,65 @@ type Pool struct {
 	tasks   chan func()
 	workers int
 	wg      sync.WaitGroup
+	budget  *Budget
 }
+
+// Budget is a study-wide cap on retry attempts, shared by every crawl
+// that runs on one pool: each retry consumes one token, and once the
+// tokens are gone transient failures become terminal instead of
+// spawning more attempts — retries can never starve fresh work of
+// worker time. It is a safety valve, not a scheduling primitive: runs
+// where the budget binds trade byte-reproducibility (which retries got
+// the last tokens depends on worker interleaving) for bounded cost, so
+// the default study budget is unlimited and chaos determinism tests
+// leave it that way.
+type Budget struct {
+	remaining atomic.Int64
+	unlimited bool
+	used      atomic.Int64
+}
+
+// NewBudget builds a budget of n retry tokens; n < 0 means unlimited.
+func NewBudget(n int64) *Budget {
+	b := &Budget{unlimited: n < 0}
+	b.remaining.Store(n)
+	return b
+}
+
+// Acquire consumes one token, reporting false when none remain.
+func (b *Budget) Acquire() bool {
+	if b == nil {
+		return true
+	}
+	if b.unlimited {
+		b.used.Add(1)
+		return true
+	}
+	if b.remaining.Add(-1) < 0 {
+		b.remaining.Add(1) // leave the floor at zero for Remaining
+		return false
+	}
+	b.used.Add(1)
+	return true
+}
+
+// Remaining reports the unconsumed tokens (negative means unlimited).
+func (b *Budget) Remaining() int64 {
+	if b.unlimited {
+		return -1
+	}
+	return b.remaining.Load()
+}
+
+// Used reports how many tokens were consumed.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// SetRetryBudget attaches the study-wide retry budget. Call it before
+// sharing the pool; fetch stacks read it via RetryBudget.
+func (p *Pool) SetRetryBudget(b *Budget) { p.budget = b }
+
+// RetryBudget returns the attached budget, nil when none was set.
+func (p *Pool) RetryBudget() *Budget { return p.budget }
 
 // NewPool starts a pool with the given number of worker goroutines.
 // A non-positive count is clamped to 1.

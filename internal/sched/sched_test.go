@@ -106,3 +106,80 @@ func TestPoolClampsNonPositiveWorkers(t *testing.T) {
 		t.Fatal("zero-worker pool never ran the task (the deadlock this clamp prevents)")
 	}
 }
+
+func TestBudgetCountsDown(t *testing.T) {
+	b := NewBudget(3)
+	for i := 0; i < 3; i++ {
+		if !b.Acquire() {
+			t.Fatalf("Acquire %d denied with tokens left", i)
+		}
+	}
+	if b.Acquire() {
+		t.Fatal("Acquire succeeded past the budget")
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining() = %d after exhaustion, want 0", b.Remaining())
+	}
+	if b.Used() != 3 {
+		t.Errorf("Used() = %d, want 3", b.Used())
+	}
+}
+
+func TestBudgetUnlimitedAndNil(t *testing.T) {
+	u := NewBudget(-1)
+	for i := 0; i < 100; i++ {
+		if !u.Acquire() {
+			t.Fatal("unlimited budget denied")
+		}
+	}
+	if u.Remaining() != -1 {
+		t.Errorf("unlimited Remaining() = %d, want -1", u.Remaining())
+	}
+	if u.Used() != 100 {
+		t.Errorf("Used() = %d, want 100", u.Used())
+	}
+	var nb *Budget
+	if !nb.Acquire() {
+		t.Error("nil budget should always grant")
+	}
+}
+
+// TestBudgetConcurrent hammers Acquire from many goroutines: exactly n
+// grants, the floor stays at zero, and -race keeps it honest.
+func TestBudgetConcurrent(t *testing.T) {
+	const tokens, workers = 500, 8
+	b := NewBudget(tokens)
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tokens; i++ {
+				if b.Acquire() {
+					granted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted.Load() != tokens {
+		t.Errorf("granted %d of %d tokens", granted.Load(), tokens)
+	}
+	if b.Remaining() != 0 || b.Used() != tokens {
+		t.Errorf("Remaining=%d Used=%d after exhaustion", b.Remaining(), b.Used())
+	}
+}
+
+func TestPoolRetryBudgetAttachment(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if p.RetryBudget() != nil {
+		t.Fatal("fresh pool has a budget")
+	}
+	b := NewBudget(1)
+	p.SetRetryBudget(b)
+	if p.RetryBudget() != b {
+		t.Fatal("attached budget not returned")
+	}
+}

@@ -225,3 +225,45 @@ func TestTLSRequiresKnownSNI(t *testing.T) {
 		t.Fatal("handshake for an unknown hostname succeeded")
 	}
 }
+
+// TestHTTPFetcherBoundsBody: the body cap must cut an over-limit page
+// at exactly MaxBodyBytes and flag the response as truncated, while an
+// under-limit page passes through whole and unflagged.
+func TestHTTPFetcherBoundsBody(t *testing.T) {
+	_, addr, estate := startServer(t)
+	site := estate.GovSites("CL")[0]
+	url := fmt.Sprintf("https://%s/", site.Host)
+
+	full := vantage.NewHTTPFetcher(addr, "CL")
+	resp, err := full.Fetch(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Fatal("default cap truncated a landing page")
+	}
+	whole := resp.BodySize
+
+	capped := vantage.NewHTTPFetcher(addr, "CL")
+	capped.MaxBodyBytes = whole / 2
+	resp, err = capped.Fetch(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("over-cap body not flagged Truncated")
+	}
+	if resp.BodySize != whole/2 || int64(len(resp.Body)) != whole/2 {
+		t.Fatalf("truncated to %d bytes, want %d", resp.BodySize, whole/2)
+	}
+
+	exact := vantage.NewHTTPFetcher(addr, "CL")
+	exact.MaxBodyBytes = whole
+	resp, err = exact.Fetch(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || resp.BodySize != whole {
+		t.Fatalf("exactly-cap-sized body misflagged: Truncated=%v size=%d", resp.Truncated, resp.BodySize)
+	}
+}

@@ -34,7 +34,20 @@ type Point struct {
 // Connect establishes a vantage point in the country using its
 // assigned VPN service and an in-memory fetcher over the estate.
 func Connect(c *world.Country, e *webgen.Estate, n *netsim.Net, seed int64) *Point {
-	r := rng.New(seed, "vpn/"+c.Code)
+	return ConnectAttempt(c, e, n, seed, 0)
+}
+
+// ConnectAttempt is Connect for a numbered re-connection: when a
+// vantage fails location validation the pipeline reconnects with the
+// next attempt number, which derives a fresh egress deterministically.
+// Attempt 0 keeps the historical derivation so existing seeds keep
+// their egresses.
+func ConnectAttempt(c *world.Country, e *webgen.Estate, n *netsim.Net, seed int64, attempt int) *Point {
+	label := "vpn/" + c.Code
+	if attempt > 0 {
+		label = fmt.Sprintf("vpn/%s/retry%d", c.Code, attempt)
+	}
+	r := rng.New(seed, label)
 	egress := n.EgressHostFor(c.Code, r)
 	return &Point{
 		Country: c,
@@ -47,12 +60,16 @@ func Connect(c *world.Country, e *webgen.Estate, n *netsim.Net, seed int64) *Poi
 // ValidateLocation verifies that the VPN egress really sits in the
 // claimed country using the same approach as server geolocation: five
 // in-country probes ping the egress address and the minimum latency
-// must fall below the country's road-distance threshold.
+// must fall below the country's road-distance threshold. Each probe
+// draws its own attempt window (§4.1's five-probe protocol measures
+// five independent samples), so the five are reproducible but not
+// copies of one another.
 func (p *Point) ValidateLocation(n *netsim.Net) error {
 	const probes = 5
+	const pingsPerProbe = 3
 	best := -1.0
 	for i := 0; i < probes; i++ {
-		rtt, ok := n.MinPing(p.Country.Code, p.Egress, 3)
+		rtt, ok := n.MinPingFrom(p.Country.Code, p.Egress, pingsPerProbe, i*pingsPerProbe)
 		if !ok {
 			continue
 		}
@@ -80,6 +97,12 @@ func thresholdMS(c *world.Country) float64 {
 	return t
 }
 
+// DefaultMaxBodyBytes caps how much of a response body HTTPFetcher
+// materialises when MaxBodyBytes is unset. The live web serves
+// multi-gigabyte mistakes; a crawler that io.ReadAlls them unbounded
+// is one hostile page away from OOM.
+const DefaultMaxBodyBytes = 4 << 20
+
 // HTTPFetcher fetches through real HTTP against a webserve.Server,
 // directing every hostname to the server's address while preserving
 // the original Host header — the moral equivalent of pointing a
@@ -88,6 +111,10 @@ type HTTPFetcher struct {
 	ServerAddr string // host:port of the webserve server
 	Vantage    string
 	Client     *http.Client
+	// MaxBodyBytes bounds how many body bytes Fetch reads; bodies past
+	// the cap are cut there and the Response marked Truncated. 0 means
+	// DefaultMaxBodyBytes; negative means unlimited.
+	MaxBodyBytes int64
 }
 
 // NewHTTPFetcher builds an HTTPFetcher with a transport that dials the
@@ -127,7 +154,23 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, raw string) (*fetch.Response, e
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	// Bounded read with an explicit truncation signal: one byte past
+	// the cap distinguishes "exactly cap-sized" from "cut short".
+	cap := f.MaxBodyBytes
+	if cap == 0 {
+		cap = DefaultMaxBodyBytes
+	}
+	var body []byte
+	truncated := false
+	if cap > 0 {
+		body, err = io.ReadAll(io.LimitReader(resp.Body, cap+1))
+		if err == nil && int64(len(body)) > cap {
+			body = body[:cap]
+			truncated = true
+		}
+	} else {
+		body, err = io.ReadAll(resp.Body)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -136,5 +179,6 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, raw string) (*fetch.Response, e
 		ContentType: resp.Header.Get("Content-Type"),
 		Body:        body,
 		BodySize:    int64(len(body)),
+		Truncated:   truncated,
 	}, nil
 }

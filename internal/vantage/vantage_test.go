@@ -58,3 +58,53 @@ func TestConnectDeterministicAcrossBuilds(t *testing.T) {
 		t.Fatal("identical builds must yield the same egress")
 	}
 }
+
+// TestConnectAttemptDeterministic: a re-connection sequence is part of
+// the study's deterministic surface — two identical builds running the
+// same attempt sequence must derive the same egresses, and each fresh
+// attempt must yield a fresh egress host for the flap to heal onto.
+func TestConnectAttemptDeterministic(t *testing.T) {
+	w1, n1, e1 := testEnv(t)
+	w2, n2, e2 := testEnv(t)
+	c1, c2 := w1.MustCountry("US"), w2.MustCountry("US")
+	seen := map[string]bool{}
+	for attempt := 0; attempt < 4; attempt++ {
+		a := ConnectAttempt(c1, e1, n1, 42, attempt)
+		b := ConnectAttempt(c2, e2, n2, 42, attempt)
+		if a.Egress != b.Egress {
+			t.Fatalf("attempt %d diverged across identical builds: %v vs %v", attempt, a.Egress, b.Egress)
+		}
+		if seen[a.Egress.String()] {
+			t.Fatalf("attempt %d reused egress %v — a flap would re-land on the same host", attempt, a.Egress)
+		}
+		seen[a.Egress.String()] = true
+	}
+}
+
+// TestValidateLocationProbesIndependent: the five §4.1 probes must
+// draw disjoint ping-attempt windows (i*pingsPerProbe offsets), not
+// five copies of the same minimum.
+func TestValidateLocationProbesIndependent(t *testing.T) {
+	w, n, e := testEnv(t)
+	vp := Connect(w.MustCountry("DE"), e, n, 42)
+	const pingsPerProbe = 3
+	seen := map[float64]bool{}
+	for i := 0; i < 5; i++ {
+		rtt, ok := n.MinPingFrom(vp.Country.Code, vp.Egress, pingsPerProbe, i*pingsPerProbe)
+		if !ok {
+			t.Fatalf("probe %d unresponsive", i)
+		}
+		seen[rtt] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all five probes measured the identical minimum — windows are not independent")
+	}
+	// And reproducible: the same windows give the same measurements.
+	for i := 0; i < 5; i++ {
+		a, _ := n.MinPingFrom(vp.Country.Code, vp.Egress, pingsPerProbe, i*pingsPerProbe)
+		b, _ := n.MinPingFrom(vp.Country.Code, vp.Egress, pingsPerProbe, i*pingsPerProbe)
+		if a != b {
+			t.Fatalf("probe %d not reproducible: %v vs %v", i, a, b)
+		}
+	}
+}

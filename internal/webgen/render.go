@@ -85,7 +85,7 @@ func (m *MemFetcher) Fetch(ctx context.Context, raw string) (*fetch.Response, er
 	}
 	site := m.Estate.Site(u.Hostname())
 	if site == nil {
-		return nil, fmt.Errorf("webgen: no such host %q", u.Hostname())
+		return nil, fmt.Errorf("webgen: no such host %q: %w", u.Hostname(), fetch.ErrHostNotFound)
 	}
 	if site.GeoBlocked && site.Country != m.Vantage {
 		return &fetch.Response{Status: 403, ContentType: "text/html",

@@ -79,7 +79,11 @@ func (g *generator) buildGlobalBrandSite(c *world.Country, i int, r *rand.Rand) 
 		if r.Float64() < 0.10 {
 			// SAN-private case: CNAME to a different 2LD that appears
 			// in the certificate's SAN list (img.youtube.com style).
-			site.CNAME = "cdn." + strings.ToLower(brand) + "-static.com"
+			// Country-scoped like every other CNAME target: the brand
+			// runs one static domain per market, so each zone entry
+			// maps to exactly one endpoint.
+			site.CNAME = fmt.Sprintf("cdn.%s-%s-static.com",
+				strings.ToLower(brand), strings.ToLower(c.Code))
 		} else {
 			site.CNAME = "edge." + twoLD
 		}
@@ -95,7 +99,13 @@ func (g *generator) buildGlobalBrandSite(c *world.Country, i int, r *rand.Rand) 
 		} else {
 			site.Endpoint = g.net.ProviderHostAt(p, loc, r)
 		}
-		site.CNAME = strings.ToLower(brand) + "." + providerCNAMEDomain(p.Key)
+		// Per-country CNAME label (searchco-br.cdn.cloudflare.net), as
+		// providers issue them: a brand-wide label shared by every
+		// country would alias one zone A record over each country's
+		// distinct endpoint, so all but the last-registered site would
+		// resolve — and geolocate — to another country's edge.
+		site.CNAME = fmt.Sprintf("%s-%s.%s",
+			strings.ToLower(brand), strings.ToLower(c.Code), providerCNAMEDomain(p.Key))
 	}
 	if site.TruthServeCountry == "" {
 		site.TruthServeCountry = site.Endpoint.Country

@@ -8,6 +8,7 @@ package webserve
 import (
 	"context"
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,16 +29,37 @@ const VantageHeader = "X-Vantage-Country"
 type Server struct {
 	Estate *webgen.Estate
 
-	httpSrv  *http.Server
-	tlsSrv   *http.Server
-	listener net.Listener
+	httpSrv     *http.Server
+	tlsSrv      *http.Server
+	listener    net.Listener
+	tlsListener net.Listener
+
+	errMu     sync.Mutex
+	serveErrs []error
 
 	certMu    sync.Mutex
 	certCache map[string]*tls.Certificate
 }
 
+// serve runs srv.Serve(ln) in the background and captures any real
+// failure — a Serve that dies (port stolen, fd exhaustion) used to
+// vanish into a bare goroutine, leaving clients to diagnose it from
+// connection refusals. http.ErrServerClosed is the normal shutdown
+// path and is not recorded.
+func (s *Server) serve(srv *http.Server, ln net.Listener) {
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.errMu.Lock()
+			s.serveErrs = append(s.serveErrs, err)
+			s.errMu.Unlock()
+			ln.Close() // the listener is useless once Serve has failed
+		}
+	}()
+}
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
-// It returns the bound address.
+// It returns the bound address. Serve failures after startup surface
+// from Close.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -48,25 +70,27 @@ func (s *Server) Start(addr string) (string, error) {
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	go s.httpSrv.Serve(ln)
+	s.serve(s.httpSrv, ln)
 	return ln.Addr().String(), nil
 }
 
 // StartTLS additionally serves the estate over TLS with per-site
 // certificates selected by SNI, materialised on demand from the
 // estate's certificate records. The §3.3 SAN-inspection step can then
-// run against real handshakes. Returns the bound TLS address.
+// run against real handshakes. Returns the bound TLS address. Serve
+// failures after startup surface from Close.
 func (s *Server) StartTLS(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	s.tlsListener = ln
 	cfg := &tls.Config{GetCertificate: s.certificateFor}
 	s.tlsSrv = &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	go s.tlsSrv.Serve(tls.NewListener(ln, cfg))
+	s.serve(s.tlsSrv, tls.NewListener(ln, cfg))
 	return ln.Addr().String(), nil
 }
 
@@ -97,17 +121,27 @@ func (s *Server) certificateFor(hello *tls.ClientHelloInfo) (*tls.Certificate, e
 	return &cert, nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down and reports any serve-loop failure that
+// occurred since Start/StartTLS, joined with any shutdown error.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
+	var errs []error
 	if s.tlsSrv != nil {
-		s.tlsSrv.Shutdown(ctx)
+		if err := s.tlsSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	if s.httpSrv == nil {
-		return nil
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return s.httpSrv.Shutdown(ctx)
+	s.errMu.Lock()
+	errs = append(errs, s.serveErrs...)
+	s.serveErrs = nil
+	s.errMu.Unlock()
+	return errors.Join(errs...)
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,0 +1,87 @@
+package webserve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCloseReportsServeFailure: a Serve loop that dies after startup
+// (here: its listener closed out from under it) must surface from
+// Close instead of vanishing into the goroutine.
+func TestCloseReportsServeFailure(t *testing.T) {
+	s := &Server{}
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	s.listener.Close() // kill the accept loop behind Serve's back
+
+	// Serve fails asynchronously; wait for the capture.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.errMu.Lock()
+		n := len(s.serveErrs)
+		s.errMu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serve failure never captured")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := s.Close()
+	if err == nil {
+		t.Fatal("Close() = nil after the serve loop died")
+	}
+	if !strings.Contains(err.Error(), "use of closed network connection") {
+		t.Errorf("Close() = %v, want the listener failure", err)
+	}
+	// The failure is reported once, not resurfaced forever.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close() = %v, want nil", err)
+	}
+}
+
+// TestCloseCleanShutdown: a normal lifecycle reports no error —
+// http.ErrServerClosed is the expected Serve result, not a failure.
+func TestCloseCleanShutdown(t *testing.T) {
+	s := &Server{}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close() = %v, want nil", err)
+	}
+}
+
+// TestStartTLSCaptureOnDeadListener mirrors the HTTP case for the TLS
+// serve loop.
+func TestStartTLSCaptureOnDeadListener(t *testing.T) {
+	s := &Server{}
+	if _, err := s.StartTLS("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	s.tlsListener.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.errMu.Lock()
+		n := len(s.serveErrs)
+		s.errMu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TLS serve failure never captured")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close() = nil after the TLS serve loop died")
+	}
+}
