@@ -23,6 +23,8 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/faults"
 	"repro/internal/fetch"
+	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/vantage"
 	"repro/internal/webserve"
 )
@@ -38,6 +40,7 @@ func main() {
 		faultProf   = flag.String("fault-profile", "off", "chaos fault profile: off, mild, aggressive, or key=value spec (timeout=0.1,reset=0.05,...)")
 		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault plan (default: -seed); same seed, same faults")
 		retries     = flag.Int("retries", 0, "max fetch attempts per URL (default: 3; negative disables retries)")
+		metricsOut  = flag.String("metrics", "", "dump the crawl's metrics snapshot to stderr: 'text' or 'json'")
 		out         = flag.String("o", "", "output HAR JSON path (default stdout)")
 		dumpZone    = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
 	)
@@ -103,29 +106,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The whole stack records into one registry, the same wiring the
+	// study pipeline uses.
+	reg := metrics.New()
 	var fetcher fetch.Fetcher = vantage.NewHTTPFetcher(httpAddr, c.Code)
 	if prof.Enabled() {
 		fs := *faultSeed
 		if fs == 0 {
 			fs = *seed
 		}
-		fetcher = &faults.Fetcher{Inner: fetcher, Plan: faults.NewPlan(fs, prof)}
+		fetcher = &faults.Fetcher{Inner: fetcher, Plan: faults.NewPlan(fs, prof), Metrics: &reg.Faults}
 	}
 	fetcher = &fetch.Retrier{
-		Inner:  fetcher,
-		Policy: fetch.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+		Inner:   fetcher,
+		Policy:  fetch.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+		Metrics: &reg.Fetch,
 	}
+	pool := sched.NewPool(*concurrency)
+	defer pool.Close()
+	pool.SetMetrics(&reg.Sched)
 	cr := &crawler.Crawler{
 		Fetcher: fetcher,
 		Config: crawler.Config{
-			MaxDepth: *depth, Concurrency: *concurrency, MaxURLs: *maxURLs,
+			MaxDepth: *depth, MaxURLs: *maxURLs,
 			Country: c.Code, VPN: c.VPN,
 		},
+		Pool:    pool,
+		Metrics: &reg.Crawl,
 	}
 	start := time.Now()
 	archive, err := cr.Crawl(ctx, landings)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsOut != "" {
+		snap := reg.Snapshot()
+		switch *metricsOut {
+		case "text":
+			fmt.Fprint(os.Stderr, snap.Text())
+		case "json":
+			buf, err := snap.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			os.Stderr.Write(buf)
+			fmt.Fprintln(os.Stderr)
+		default:
+			fatal(fmt.Errorf("-metrics must be 'text' or 'json', got %q", *metricsOut))
+		}
 	}
 	fmt.Fprintf(os.Stderr, "crawled %d entries (%d hosts, %d bytes) in %v\n",
 		len(archive.Entries), len(archive.Hosts()), archive.TotalBytes(),

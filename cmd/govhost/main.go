@@ -38,6 +38,7 @@ func main() {
 		trustIPInfo = flag.Bool("trust-ipinfo", false, "ablation: skip geolocation verification")
 		noSAN       = flag.Bool("no-san", false, "ablation: disable SAN-based URL classification")
 		noTopsites  = flag.Bool("no-topsites", false, "skip the Appendix D top-site baseline")
+		metricsOut  = flag.String("metrics", "", "dump the per-stage metrics snapshot after the run: 'text' (aligned ledger) or 'json'")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 		dumpJSONL   = flag.String("dump-jsonl", "", "write the annotated dataset as JSON lines to this path")
 		dumpCSV     = flag.String("dump-csv", "", "write the annotated dataset as CSV to this path")
@@ -125,10 +126,33 @@ func main() {
 
 	if *exps == "all" {
 		fmt.Print(study.ReportAll())
-		return
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			fmt.Print(study.Report(strings.TrimSpace(id)))
+			fmt.Println()
+		}
 	}
-	for _, id := range strings.Split(*exps, ",") {
-		fmt.Print(study.Report(strings.TrimSpace(id)))
-		fmt.Println()
+
+	if *metricsOut != "" {
+		snap, ok := study.Metrics()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "govhost: no metrics snapshot (loaded dataset or metrics disabled)")
+			os.Exit(1)
+		}
+		switch *metricsOut {
+		case "text":
+			fmt.Print(snap.Text())
+		case "json":
+			buf, err := snap.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "govhost:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(buf)
+			fmt.Println()
+		default:
+			fmt.Fprintf(os.Stderr, "govhost: -metrics must be 'text' or 'json', got %q\n", *metricsOut)
+			os.Exit(1)
+		}
 	}
 }

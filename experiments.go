@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"table9", "Table 9 — country panel", (*Study).reportTable9},
 		{"findings", "Key findings — headline numbers", (*Study).reportFindings},
 		{"coverage", "Coverage — fetch failure taxonomy and degradation ledger", (*Study).reportCoverage},
+		{"metrics", "Metrics — per-stage pipeline counters and timings", (*Study).reportMetrics},
 		{"ext-https", "Extension — HTTPS validity (Singanamalla et al.)", (*Study).reportExtHTTPS},
 		{"ext-weight", "Extension — page weight vs development (Habib et al.)", (*Study).reportExtWeight},
 	}

@@ -734,3 +734,11 @@ func (s *Study) reportCoverage() string {
 	}
 	return b.String()
 }
+
+func (s *Study) reportMetrics() string {
+	snap, ok := s.Metrics()
+	if !ok {
+		return "no metrics registry: the study was loaded from a saved dataset or run with DisableMetrics\n"
+	}
+	return snap.Text()
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/export"
+	"repro/internal/metrics"
 	"repro/internal/world"
 )
 
@@ -88,6 +89,10 @@ type Config struct {
 	TrustIPInfo       bool    // skip §3.5 verification, trust the geo database
 	GlobalThresholdMS float64 // replace per-country road thresholds
 	DisableSAN        bool    // drop the Table 1 SAN-matching step
+
+	// DisableMetrics turns off the per-stage metrics registry (on by
+	// default; the instrumentation costs well under 3 % of a run).
+	DisableMetrics bool
 }
 
 func (c Config) toCore() core.Config {
@@ -109,8 +114,16 @@ func (c Config) toCore() core.Config {
 		TrustIPInfo:        c.TrustIPInfo,
 		GlobalThresholdMS:  c.GlobalThresholdMS,
 		DisableSAN:         c.DisableSAN,
+		DisableMetrics:     c.DisableMetrics,
 	}
 }
+
+// MetricsSnapshot is a frozen view of the study's per-stage metrics:
+// the Deterministic half is byte-identical for equal seeds at any
+// concurrency shape, the Runtime half carries wall-clock timings and
+// scheduling-shape observations. Render it with JSON,
+// DeterministicJSON or Text.
+type MetricsSnapshot = metrics.Snapshot
 
 // Study is a completed measurement study.
 type Study struct {
@@ -413,6 +426,20 @@ func (s *Study) PerCountryStats() []CountryStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
 	return out
+}
+
+// Metrics returns the frozen per-stage metrics ledger for this study.
+// ok is false when no registry was attached — the study was loaded
+// from a saved dataset, or run with Config.DisableMetrics.
+func (s *Study) Metrics() (snap MetricsSnapshot, ok bool) {
+	if s.env == nil {
+		return MetricsSnapshot{}, false
+	}
+	reg := s.env.Metrics()
+	if reg == nil {
+		return MetricsSnapshot{}, false
+	}
+	return reg.Snapshot(), true
 }
 
 // MethodYields returns the Table 1 classification yields over internal

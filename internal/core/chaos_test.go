@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/export"
+	"repro/internal/metrics"
 )
 
 // chaosConfig is the shared base for the chaos suite: a small country
@@ -339,5 +340,197 @@ func TestChaosBadProfileRejected(t *testing.T) {
 	cfg.FaultProfile = "timeout=2.0"
 	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("bad fault profile accepted")
+	}
+}
+
+// runWithMetrics executes cfg on a fresh Env and returns the dataset,
+// the Env (for cache introspection) and the frozen metrics snapshot.
+func runWithMetrics(t *testing.T, cfg Config) (*dataset.Dataset, *Env, metrics.Snapshot) {
+	t.Helper()
+	env := NewEnv(cfg)
+	ds, err := env.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Metrics() == nil {
+		t.Fatal("no metrics registry on a default-config run")
+	}
+	return ds, env, env.Metrics().Snapshot()
+}
+
+// TestMetricsDeterministicAcrossConcurrency is the metrics counterpart
+// of the headline chaos guarantee: the deterministic half of the
+// snapshot must be byte-identical for equal seeds at any concurrency
+// shape — under the healthy world and under aggressive fault
+// injection. Timings and queue pressure land in the runtime half and
+// are free to differ.
+func TestMetricsDeterministicAcrossConcurrency(t *testing.T) {
+	shapes := []struct{ country, fetch int }{
+		{1, 1},
+		{2, 4},
+		{3, 16},
+	}
+	for _, profile := range []string{"off", "aggressive"} {
+		var ref []byte
+		var refShape struct{ country, fetch int }
+		for _, sh := range shapes {
+			cfg := chaosConfig()
+			cfg.FaultProfile = profile
+			cfg.CountryConcurrency = sh.country
+			cfg.FetchConcurrency = sh.fetch
+			_, _, snap := runWithMetrics(t, cfg)
+			got, err := snap.DeterministicJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref, refShape = got, sh
+				continue
+			}
+			if !bytes.Equal(ref, got) {
+				t.Errorf("profile %q: deterministic snapshot diverged between shapes %+v and %+v",
+					profile, refShape, sh)
+			}
+		}
+	}
+}
+
+// TestMetricsSnapshotInvariants derives the pipeline's accounting
+// identities from one snapshot: every crawled URL lands in exactly one
+// bucket, every cache lookup is a hit or a miss, every fetch attempt
+// is a first try or a counted retry. The identities must hold in the
+// healthy world and under faults alike.
+func TestMetricsSnapshotInvariants(t *testing.T) {
+	for _, profile := range []string{"off", "aggressive"} {
+		cfg := chaosConfig()
+		cfg.FaultProfile = profile
+		ds, env, snap := runWithMetrics(t, cfg)
+		d := snap.Deterministic
+
+		// A completed run executes every scheduled item.
+		if d.Sched.ItemsScheduled != d.Sched.ItemsRun {
+			t.Errorf("%s: scheduled %d items, ran %d", profile, d.Sched.ItemsScheduled, d.Sched.ItemsRun)
+		}
+
+		// Cache: lookups partition into hits and misses; annotate
+		// resolves exactly once per call; misses are distinct hostnames.
+		if d.Cache.Hits+d.Cache.Misses != d.Cache.Lookups {
+			t.Errorf("%s: hits %d + misses %d != lookups %d", profile, d.Cache.Hits, d.Cache.Misses, d.Cache.Lookups)
+		}
+		if d.Cache.Lookups != d.Pipeline.Annotations {
+			t.Errorf("%s: %d cache lookups, %d annotations", profile, d.Cache.Lookups, d.Pipeline.Annotations)
+		}
+		if got := int64(env.resolutions.size()); d.Cache.Misses != got {
+			t.Errorf("%s: %d misses but %d cached hostnames", profile, d.Cache.Misses, got)
+		}
+		if d.Cache.NegativeEntries > d.Cache.Misses || d.Cache.NegativeHits > d.Cache.Hits {
+			t.Errorf("%s: negative entries/hits %d/%d exceed misses/hits %d/%d",
+				profile, d.Cache.NegativeEntries, d.Cache.NegativeHits, d.Cache.Misses, d.Cache.Hits)
+		}
+
+		// Fetch: each admitted frontier URL is fetched once, plus one
+		// attempt per counted retry; the retry ledger sums by kind.
+		if d.Fetch.Attempts != d.Crawl.FrontierAdmitted+d.Fetch.Retries {
+			t.Errorf("%s: attempts %d != admitted %d + retries %d",
+				profile, d.Fetch.Attempts, d.Crawl.FrontierAdmitted, d.Fetch.Retries)
+		}
+		var retryKinds int64
+		for _, n := range d.Fetch.RetriesByKind {
+			retryKinds += n
+		}
+		if retryKinds != d.Fetch.Retries {
+			t.Errorf("%s: retry kinds sum to %d, Retries is %d", profile, retryKinds, d.Fetch.Retries)
+		}
+
+		// Crawl: the per-depth distribution sums to the admitted total.
+		var byDepth int64
+		for _, n := range d.Crawl.URLsByDepth {
+			byDepth += n
+		}
+		if byDepth != d.Crawl.FrontierAdmitted {
+			t.Errorf("%s: per-depth URLs sum to %d, admitted %d", profile, byDepth, d.Crawl.FrontierAdmitted)
+		}
+
+		// Pipeline: the per-country rows close the accounting identity
+		// and roll up to the study totals and the dataset's own ledger.
+		var recSum, failSum int64
+		for code, c := range d.Pipeline.Countries {
+			if c.Attempted != c.Records+c.Failures+c.Discarded+c.Unusable {
+				t.Errorf("%s/%s: attempted %d != records %d + failures %d + discarded %d + unusable %d",
+					profile, code, c.Attempted, c.Records, c.Failures, c.Discarded, c.Unusable)
+			}
+			recSum += c.Records
+			failSum += c.Failures
+		}
+		if recSum != d.Pipeline.Records || failSum != d.Pipeline.Failures {
+			t.Errorf("%s: country rows sum to %d records / %d failures, totals say %d / %d",
+				profile, recSum, failSum, d.Pipeline.Records, d.Pipeline.Failures)
+		}
+		var failKinds int64
+		for _, n := range d.Pipeline.FailuresByKind {
+			failKinds += n
+		}
+		if failKinds != d.Pipeline.Failures {
+			t.Errorf("%s: failure kinds sum to %d, Failures is %d", profile, failKinds, d.Pipeline.Failures)
+		}
+		if got := int64(len(cfg.Countries)); d.Pipeline.CountriesRun != got {
+			t.Errorf("%s: CountriesRun = %d, want %d", profile, d.Pipeline.CountriesRun, got)
+		}
+
+		// The snapshot agrees with the dataset the same run produced
+		// (SkipTopsites, so pipeline records are exactly ds.Records).
+		if int(d.Pipeline.Records) != len(ds.Records) {
+			t.Errorf("%s: snapshot records %d, dataset has %d", profile, d.Pipeline.Records, len(ds.Records))
+		}
+		if int(d.Pipeline.Failures) != ds.TotalFailedURLs {
+			t.Errorf("%s: snapshot failures %d, dataset says %d", profile, d.Pipeline.Failures, ds.TotalFailedURLs)
+		}
+		if int(d.Fetch.Retries) != ds.TotalRetries {
+			t.Errorf("%s: snapshot retries %d, dataset says %d", profile, d.Fetch.Retries, ds.TotalRetries)
+		}
+
+		if profile == "off" {
+			if d.Fetch.Retries != 0 || d.Pipeline.Failures != 0 || len(d.Faults.Injections) != 0 {
+				t.Errorf("healthy run shows retries %d, failures %d, injections %v",
+					d.Fetch.Retries, d.Pipeline.Failures, d.Faults.Injections)
+			}
+		} else {
+			if len(d.Faults.Injections) == 0 {
+				t.Errorf("aggressive run recorded no injected faults")
+			}
+			if d.Fetch.Retries == 0 {
+				t.Errorf("aggressive run recorded no retries")
+			}
+		}
+	}
+}
+
+// TestMetricsRetryBudgetBound: the deterministic retry counter must
+// respect a binding study-wide budget even though which retries got
+// the tokens is interleaving-dependent.
+func TestMetricsRetryBudgetBound(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.RetryBudget = 10
+	_, _, snap := runWithMetrics(t, cfg)
+	if got := snap.Deterministic.Fetch.Retries; got > 10 {
+		t.Errorf("snapshot counts %d retries against a budget of 10", got)
+	}
+}
+
+// TestMetricsDisabled: DisableMetrics must leave the Env without a
+// registry and the pipeline indifferent to its absence.
+func TestMetricsDisabled(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.DisableMetrics = true
+	env := NewEnv(cfg)
+	ds, err := env.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Metrics() != nil {
+		t.Error("DisableMetrics still attached a registry")
+	}
+	if len(ds.Records) == 0 {
+		t.Error("disabled-metrics run produced no records")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geo/ipinfo"
 	"repro/internal/geo/manycast"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/peeringdb"
 	"repro/internal/probing"
@@ -89,6 +90,11 @@ type Config struct {
 	// byte-reproducibility for bounded cost — leave it unlimited when
 	// comparing chaos runs.
 	RetryBudget int64
+
+	// DisableMetrics turns off the per-stage metrics registry. The
+	// instrumentation costs well under the 3% bench budget, so it is on
+	// by default; the off switch exists for overhead comparisons.
+	DisableMetrics bool
 }
 
 // withDefaults fills unset fields.
@@ -151,6 +157,54 @@ type Env struct {
 	// resolveHost performs one uncached resolution; tests may replace
 	// it to observe or fault-inject lookups.
 	resolveHost resolveFunc
+
+	// metrics is the study-wide per-stage instrumentation registry,
+	// shared by the scheduler, cache, fetch stack, fault injector and
+	// crawler; nil when Config.DisableMetrics is set (or for loaded
+	// studies, which never ran a pipeline).
+	metrics *metrics.Registry
+}
+
+// Metrics exposes the per-stage metrics registry; nil when metrics are
+// disabled or the Env was reconstructed from a saved dataset.
+func (env *Env) Metrics() *metrics.Registry { return env.metrics }
+
+// The nil-safe slice accessors keep pipeline call sites one-liners
+// whether or not a registry is attached.
+
+func (env *Env) cacheMetrics() *metrics.CacheMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Cache
+}
+
+func (env *Env) fetchMetrics() *metrics.FetchMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Fetch
+}
+
+func (env *Env) faultMetrics() *metrics.FaultMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Faults
+}
+
+func (env *Env) crawlMetrics() *metrics.CrawlMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Crawl
+}
+
+func (env *Env) pipelineMetrics() *metrics.PipelineMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Pipeline
 }
 
 // NewEnv builds the environment for a configuration.
@@ -177,7 +231,10 @@ func NewEnv(cfg Config) *Env {
 	}
 	env.Prober = probing.New(net, w, zones, env.IPInfo, env.Manycast)
 	env.Prober.GlobalThresholdMS = cfg.GlobalThresholdMS
-	env.resolutions = newRescache()
+	if !cfg.DisableMetrics {
+		env.metrics = metrics.New()
+	}
+	env.resolutions = newRescache(env.cacheMetrics())
 	env.resolveHost = env.zoneResolve
 	return env
 }

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/dataset"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/fetch"
 	"repro/internal/govclass"
 	"repro/internal/har"
+	"repro/internal/metrics"
 	"repro/internal/probing"
 	"repro/internal/sched"
 	"repro/internal/vantage"
@@ -42,12 +44,16 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	// every worker.
 	cfg := env.Config.withDefaults()
 	env.Config = cfg
+	if env.metrics == nil && !cfg.DisableMetrics {
+		env.metrics = metrics.New()
+	}
 	if env.resolutions == nil {
-		env.resolutions = newRescache()
+		env.resolutions = newRescache(env.cacheMetrics())
 	}
 	if env.resolveHost == nil {
 		env.resolveHost = env.zoneResolve
 	}
+	studyStart := time.Now()
 	if env.Faults == nil && cfg.FaultProfile != "" {
 		prof, err := faults.ParseProfile(cfg.FaultProfile)
 		if err != nil {
@@ -62,7 +68,7 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	// SERVFAIL on attempt 0 can still resolve on attempt 1.
 	if env.Faults != nil && env.Faults.Profile.DNSServfail > 0 && !env.faultsWired {
 		env.faultsWired = true
-		env.resolveHost = faultyResolve(env.Faults, env.resolveHost)
+		env.resolveHost = faultyResolve(env.Faults, env.faultMetrics(), env.resolveHost)
 	}
 	countries := env.studyCountries()
 
@@ -81,6 +87,9 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 
 	pool := sched.NewPool(cfg.FetchConcurrency)
 	defer pool.Close()
+	if env.metrics != nil {
+		pool.SetMetrics(&env.metrics.Sched)
+	}
 	if cfg.RetryBudget > 0 {
 		pool.SetRetryBudget(sched.NewBudget(cfg.RetryBudget))
 	}
@@ -134,13 +143,16 @@ feed:
 	}
 
 	if !cfg.SkipTopsites {
+		topStart := time.Now()
 		if err := env.runTopsites(ctx, ds, pool); err != nil {
 			return nil, err
 		}
+		env.pipelineMetrics().ObserveStage("topsites", time.Since(topStart))
 	}
 
 	assignCategories(env, ds)
 	fillTotals(env, ds)
+	env.pipelineMetrics().ObserveStage("study", time.Since(studyStart))
 	return ds, nil
 }
 
@@ -180,6 +192,7 @@ func (env *Env) connectVantage(c *world.Country) (*vantage.Point, int, error) {
 		vp := vantage.ConnectAttempt(c, env.Estate, env.Net, env.Config.Seed, attempt)
 		err = vp.ValidateLocation(env.Net)
 		if err == nil && env.Faults != nil && env.Faults.EgressFlap(c.Code, attempt) {
+			env.faultMetrics().Inject(string(faults.KindFlap))
 			err = fmt.Errorf("faults: egress %v flapped during validation (injected)", vp.Egress)
 		}
 		if err == nil {
@@ -196,7 +209,7 @@ func (env *Env) connectVantage(c *world.Country) (*vantage.Point, int, error) {
 // budget.
 func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier {
 	if env.Faults != nil {
-		inner = &faults.Fetcher{Inner: inner, Plan: env.Faults}
+		inner = &faults.Fetcher{Inner: inner, Plan: env.Faults, Metrics: env.faultMetrics()}
 	}
 	r := &fetch.Retrier{
 		Inner: inner,
@@ -204,6 +217,7 @@ func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier
 			MaxAttempts: env.Config.RetryAttempts,
 			Seed:        env.Config.Seed,
 		},
+		Metrics: env.fetchMetrics(),
 	}
 	if b := pool.RetryBudget(); b != nil {
 		r.Budget = b
@@ -225,13 +239,21 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 		LandingURLs: len(landings),
 	}
 
+	pm := env.pipelineMetrics()
+	var timings metrics.CountryTimings
+
 	// §3.2: connect through an in-country VPN vantage and validate its
 	// claimed location before trusting it; reconnect on failure.
+	stageStart := time.Now()
 	vp, attempts, vErr := env.connectVantage(c)
+	timings.Vantage = time.Since(stageStart)
 	stats.VantageAttempts = attempts
 	if vErr != nil {
 		stats.Failed = true
 		stats.FailureReason = fmt.Sprintf("vantage validation: %v", vErr)
+		pm.RecordCountry(c.Code, metrics.CountryCounters{VantageAttempts: int64(attempts)}, true, nil)
+		pm.RecordCountryTimings(c.Code, timings)
+		pm.ObserveStage("vantage", timings.Vantage)
 		return nil, stats, nil, nil
 	}
 
@@ -244,9 +266,12 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 			Country:  c.Code,
 			VPN:      vp.VPN,
 		},
-		Pool: pool,
+		Pool:    pool,
+		Metrics: env.crawlMetrics(),
 	}
+	stageStart = time.Now()
 	archive, err := cr.Crawl(ctx, landings)
+	timings.Crawl = time.Since(stageStart)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -261,6 +286,7 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	}
 
 	// §3.3: identify internal government URLs.
+	stageStart = time.Now()
 	classifier := env.urlClassifier(c)
 	methods := make(map[govclass.URLMethod]int)
 	landingSet := make(map[string]bool, len(landings))
@@ -270,17 +296,23 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 
 	// Candidates index into the archive rather than copying entries: the
 	// annotation fan-out only needs to read them, and the archive is
-	// immutable once the crawl returns.
+	// immutable once the crawl returns. Discarded and unusable entries
+	// are tallied so the per-country accounting identity
+	// (Attempted == Records + Failures + Discarded + Unusable) closes.
 	type candidate struct {
 		idx    int
 		method govclass.URLMethod
 	}
 	var candidates []candidate
+	var discarded, unusable int64
 	for i := range archive.Entries {
 		entry := &archive.Entries[i]
 		// Failure covers the degraded-but-200 cases (truncation): an
 		// entry is either a coverage loss or a record, never both.
 		if entry.Status != 200 || entry.Failure != "" {
+			if entry.Failure == "" {
+				unusable++ // e.g. a 404: healthy fetch, no usable body
+			}
 			continue
 		}
 		method := classifier.Classify(entry.Host)
@@ -288,10 +320,12 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 			methods[method]++
 		}
 		if method == govclass.MethodDiscarded {
+			discarded++
 			continue
 		}
 		candidates = append(candidates, candidate{idx: i, method: method})
 	}
+	timings.Classify = time.Since(stageStart)
 
 	// Annotation fans out through the same bounded pool as the fetches;
 	// workers write into their own index so assembly order stays the
@@ -299,9 +333,11 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	// then compacted in place — the fan-out buffer is the result slice.
 	recs := make([]dataset.URLRecord, len(candidates))
 	errs := make([]error, len(candidates))
+	stageStart = time.Now()
 	pool.Each(ctx, len(candidates), func(i int) {
 		recs[i], errs[i] = env.annotate(c, archive.Entries[candidates[i].idx])
 	})
+	timings.Annotate = time.Since(stageStart)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -328,6 +364,21 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	stats.InternalURLs = methods[govclass.MethodTLD] + methods[govclass.MethodDomain] + methods[govclass.MethodSAN]
 	stats.Hostnames = len(hostSeen)
 	stats.Retries = int(retrier.Stats().Retries)
+
+	pm.RecordCountry(c.Code, metrics.CountryCounters{
+		Attempted:       int64(stats.Attempted),
+		Records:         int64(len(records)),
+		Failures:        int64(stats.FailedURLs),
+		Discarded:       discarded,
+		Unusable:        unusable,
+		Retries:         int64(stats.Retries),
+		VantageAttempts: int64(stats.VantageAttempts),
+	}, false, stats.Failures)
+	pm.RecordCountryTimings(c.Code, timings)
+	pm.ObserveStage("vantage", timings.Vantage)
+	pm.ObserveStage("crawl", timings.Crawl)
+	pm.ObserveStage("classify", timings.Classify)
+	pm.ObserveStage("annotate", timings.Annotate)
 	return records, stats, methods, nil
 }
 
@@ -336,6 +387,7 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 // study-wide cache, so each distinct hostname — resolvable or not — is
 // looked up once across all countries.
 func (env *Env) annotate(c *world.Country, entry har.Entry) (dataset.URLRecord, error) {
+	env.pipelineMetrics().RecordAnnotation()
 	rec := dataset.URLRecord{
 		URL:     entry.URL,
 		Host:    entry.Host,

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/whois"
 )
 
@@ -20,19 +22,27 @@ type resolveFunc func(host string) (netip.Addr, whois.Record, error)
 type rescache struct {
 	mu sync.Mutex
 	m  map[string]*resEntry
+	// metrics, when set, receives the cache's hit/miss/negative
+	// accounting. The lookup and miss counts are deterministic (the
+	// hostname multiset is a pure function of the seed); only the
+	// coalesce count depends on worker interleaving.
+	metrics *metrics.CacheMetrics
 }
 
 // resEntry is one hostname's outcome; once guarantees a single
 // resolution per hostname across all workers, positive or negative.
+// done flips after the resolution lands, so a later lookup can tell a
+// settled entry from one still in flight (a coalesce).
 type resEntry struct {
 	once sync.Once
+	done atomic.Bool
 	ip   netip.Addr
 	rec  whois.Record
 	err  error
 }
 
-func newRescache() *rescache {
-	return &rescache{m: make(map[string]*resEntry)}
+func newRescache(cm *metrics.CacheMetrics) *rescache {
+	return &rescache{m: make(map[string]*resEntry), metrics: cm}
 }
 
 // resolve returns the cached outcome for host, performing the lookup
@@ -41,14 +51,37 @@ func newRescache() *rescache {
 func (c *rescache) resolve(host string, fn resolveFunc) (netip.Addr, whois.Record, error) {
 	c.mu.Lock()
 	e := c.m[host]
-	if e == nil {
+	created := e == nil
+	if created {
 		e = &resEntry{}
 		c.m[host] = e
 	}
 	c.mu.Unlock()
+	if m := c.metrics; m != nil {
+		m.Lookups.Inc()
+		if created {
+			m.Misses.Inc()
+		} else {
+			m.Hits.Inc()
+			if !e.done.Load() {
+				m.Coalesced.Inc()
+			}
+		}
+	}
 	e.once.Do(func() {
 		e.ip, e.rec, e.err = fn(host)
+		if e.err != nil {
+			if m := c.metrics; m != nil {
+				m.NegativeEntries.Inc()
+			}
+		}
+		e.done.Store(true)
 	})
+	if !created && e.err != nil {
+		if m := c.metrics; m != nil {
+			m.NegativeHits.Inc()
+		}
+	}
 	return e.ip, e.rec, e.err
 }
 
@@ -68,11 +101,14 @@ const resolveAttempts = 3
 // attempt first consults the plan (deterministically per hostname and
 // attempt), so an injected SERVFAIL can clear on a later attempt and
 // the same seed always resolves — or fails — the same set of names.
-func faultyResolve(plan *faults.Plan, inner resolveFunc) resolveFunc {
+// Injected SERVFAILs land in fm's ledger; the count is deterministic
+// because the single-flight cache resolves each hostname exactly once.
+func faultyResolve(plan *faults.Plan, fm *metrics.FaultMetrics, inner resolveFunc) resolveFunc {
 	return func(host string) (netip.Addr, whois.Record, error) {
 		var lastErr error
 		for attempt := 0; attempt < resolveAttempts; attempt++ {
 			if err := plan.DNSFault(host, attempt); err != nil {
+				fm.Inject(string(faults.KindServfail))
 				lastErr = err
 				continue
 			}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/whois"
+)
+
+func TestRescacheSingleFlight(t *testing.T) {
+	cm := &metrics.CacheMetrics{}
+	c := newRescache(cm)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fn := func(host string) (netip.Addr, whois.Record, error) {
+		calls.Add(1)
+		<-release
+		return netip.MustParseAddr("192.0.2.1"), whois.Record{ASN: 64500}, nil
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ip, rec, err := c.resolve("gov.example", fn)
+			if err != nil || ip != netip.MustParseAddr("192.0.2.1") || rec.ASN != 64500 {
+				t.Errorf("resolve = %v, %+v, %v", ip, rec, err)
+			}
+		}()
+	}
+	// Hold the single in-flight resolution until every other worker has
+	// arrived and registered as a coalesced hit, then let it finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for cm.Coalesced.Load() < workers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers coalesced", cm.Coalesced.Load(), workers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("resolver ran %d times, want 1 (single flight)", got)
+	}
+	if cm.Lookups.Load() != workers || cm.Misses.Load() != 1 || cm.Hits.Load() != workers-1 {
+		t.Errorf("lookups/misses/hits = %d/%d/%d, want %d/1/%d",
+			cm.Lookups.Load(), cm.Misses.Load(), cm.Hits.Load(), workers, workers-1)
+	}
+	if got := c.size(); got != 1 {
+		t.Errorf("cache size = %d, want 1", got)
+	}
+
+	// A lookup after the entry settles is a plain hit, not a coalesce.
+	c.resolve("gov.example", fn)
+	if got := cm.Coalesced.Load(); got != workers-1 {
+		t.Errorf("Coalesced = %d after settled hit, want %d", got, workers-1)
+	}
+	if got := cm.Hits.Load(); got != workers {
+		t.Errorf("Hits = %d after settled hit, want %d", got, workers)
+	}
+}
+
+func TestRescacheNegativeCaching(t *testing.T) {
+	cm := &metrics.CacheMetrics{}
+	c := newRescache(cm)
+	calls := 0
+	boom := errors.New("NXDOMAIN")
+	fn := func(host string) (netip.Addr, whois.Record, error) {
+		calls++
+		return netip.Addr{}, whois.Record{}, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.resolve("bad.example", fn); !errors.Is(err, boom) {
+			t.Fatalf("lookup %d: err = %v, want cached failure", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("resolver ran %d times, want 1 (negative entry cached)", calls)
+	}
+	if cm.NegativeEntries.Load() != 1 {
+		t.Errorf("NegativeEntries = %d, want 1", cm.NegativeEntries.Load())
+	}
+	if cm.NegativeHits.Load() != 2 {
+		t.Errorf("NegativeHits = %d, want 2", cm.NegativeHits.Load())
+	}
+	if cm.Lookups.Load() != 3 || cm.Misses.Load() != 1 || cm.Hits.Load() != 2 {
+		t.Errorf("lookups/misses/hits = %d/%d/%d, want 3/1/2",
+			cm.Lookups.Load(), cm.Misses.Load(), cm.Hits.Load())
+	}
+}
+
+// TestRescacheNilMetrics: the cache must work identically with no
+// registry attached — the disabled-metrics configuration.
+func TestRescacheNilMetrics(t *testing.T) {
+	c := newRescache(nil)
+	fn := func(host string) (netip.Addr, whois.Record, error) {
+		return netip.MustParseAddr("192.0.2.9"), whois.Record{}, nil
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.resolve("ok.example", fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.resolve("bad.example", func(string) (netip.Addr, whois.Record, error) {
+		return netip.Addr{}, whois.Record{}, errors.New("nope")
+	}); err == nil {
+		t.Fatal("negative entry lost without metrics")
+	}
+	if got := c.size(); got != 2 {
+		t.Errorf("size = %d, want 2", got)
+	}
+}
+
+// TestFaultyResolveInjectionLedger: each injected SERVFAIL lands in the
+// fault ledger once per attempt it blocked.
+func TestFaultyResolveInjectionLedger(t *testing.T) {
+	plan := faults.NewPlan(7, faults.Profile{DNSServfail: 1.0})
+	fm := &metrics.FaultMetrics{}
+	inner := func(host string) (netip.Addr, whois.Record, error) {
+		return netip.MustParseAddr("192.0.2.2"), whois.Record{}, nil
+	}
+	wrapped := faultyResolve(plan, fm, inner)
+	if _, _, err := wrapped("always.example"); err == nil {
+		t.Fatal("servfail=1.0 resolved anyway")
+	}
+	if got := fm.Injections.Load(string(faults.KindServfail)); got != resolveAttempts {
+		t.Errorf("servfail injections = %d, want %d (one per attempt)", got, resolveAttempts)
+	}
+}

@@ -43,7 +43,8 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sche
 				Country:  code,
 				VPN:      vp.VPN,
 			},
-			Pool: pool,
+			Pool:    pool,
+			Metrics: env.crawlMetrics(),
 		}
 		archive, err := cr.Crawl(ctx, landings)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/fetch"
 	"repro/internal/har"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -44,6 +45,10 @@ type Crawler struct {
 	// every crawl at once. Nil gives the crawl its own bounded pool of
 	// Config.Concurrency workers.
 	Pool *sched.Pool
+	// Metrics, when non-nil, receives frontier-admission accounting.
+	// Admission happens single-threaded between levels on sorted URL
+	// lists, so every count here is deterministic.
+	Metrics *metrics.CrawlMetrics
 }
 
 // task is one URL scheduled for fetching.
@@ -94,13 +99,19 @@ func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, e
 	// admission below sorts, so the whole frontier sequence is a pure
 	// function of the page graph.
 	var frontier []task
+	var capSkipped int64
 	for _, l := range landings {
-		if seen[l] || (c.Config.MaxURLs > 0 && len(seen) >= c.Config.MaxURLs) {
+		if seen[l] {
+			continue
+		}
+		if c.Config.MaxURLs > 0 && len(seen) >= c.Config.MaxURLs {
+			capSkipped++
 			continue
 		}
 		seen[l] = true
 		frontier = append(frontier, task{url: l, depth: 0, landing: l})
 	}
+	c.Metrics.RecordLevel(0, int64(len(frontier)), capSkipped)
 
 	// One result buffer serves every level: the crawl is GC-bound at
 	// scale, and a fresh slice per level is the single largest
@@ -150,6 +161,12 @@ func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, e
 // single-threaded between levels is what makes a capped crawl
 // seed-deterministic: the cap cuts a sorted list, not a worker race.
 func (c *Crawler) admitLevel(seen map[string]bool, next []task) []task {
+	if len(next) == 0 {
+		return next
+	}
+	// Level synchronisation means every candidate shares one depth.
+	depth := next[0].depth
+	candidates := int64(len(next))
 	slices.SortFunc(next, func(a, b task) int { return strings.Compare(a.url, b.url) })
 	if c.Config.MaxURLs > 0 {
 		allowed := c.Config.MaxURLs - (len(seen) - len(next))
@@ -163,6 +180,7 @@ func (c *Crawler) admitLevel(seen map[string]bool, next []task) []task {
 			next = next[:allowed]
 		}
 	}
+	c.Metrics.RecordLevel(depth, int64(len(next)), candidates-int64(len(next)))
 	return next
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/fetch"
+	"repro/internal/metrics"
 )
 
 // Fetcher injects the plan's faults in front of any fetch.Fetcher. It
@@ -15,6 +16,10 @@ import (
 type Fetcher struct {
 	Inner fetch.Fetcher
 	Plan  *Plan
+	// Metrics, when non-nil, receives the injection ledger. Decisions
+	// hash (fault seed, host, attempt) and attempt sequences are
+	// deterministic, so the ledger is golden-comparable.
+	Metrics *metrics.FaultMetrics
 }
 
 // Fetch implements fetch.Fetcher as attempt 0.
@@ -26,6 +31,9 @@ func (f *Fetcher) Fetch(ctx context.Context, url string) (*fetch.Response, error
 func (f *Fetcher) FetchAttempt(ctx context.Context, url string, attempt int) (*fetch.Response, error) {
 	host := hostOf(url)
 	ft := f.Plan.FetchFault(host, attempt)
+	if ft.Kind != KindNone {
+		f.Metrics.Inject(string(ft.Kind))
+	}
 	switch ft.Kind {
 	case KindTimeout:
 		return nil, &TimeoutError{Host: host}

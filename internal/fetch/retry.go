@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // RetryBudget caps how many extra attempts a whole study may spend;
@@ -84,6 +86,10 @@ type Retrier struct {
 	// work. Exhaustion downgrades failures to terminal, it never
 	// aborts.
 	Budget RetryBudget
+	// Metrics, when non-nil, receives the study-wide attempt/retry
+	// ledger on top of the per-Retrier counters below. Attempt and
+	// retry counts are deterministic; budget denials are not.
+	Metrics *metrics.FetchMetrics
 
 	attempts, retries, denied atomic.Uint64
 }
@@ -106,12 +112,18 @@ func (r *Retrier) Fetch(ctx context.Context, url string) (*Response, error) {
 		}
 		cancel()
 		r.attempts.Add(1)
+		r.Metrics.RecordAttempt()
 
+		// The failure kind both drives the retry decision and labels
+		// the retry in the study ledger.
 		var retryable bool
+		var kind FailKind
 		if err != nil {
 			retryable = RetryableError(err)
+			kind = ClassifyError(err)
 		} else {
-			retryable = RetryableKind(ClassifyResponse(resp))
+			kind = ClassifyResponse(resp)
+			retryable = RetryableKind(kind)
 		}
 		if !retryable || attempt+1 >= max {
 			return resp, err
@@ -122,9 +134,11 @@ func (r *Retrier) Fetch(ctx context.Context, url string) (*Response, error) {
 		}
 		if r.Budget != nil && !r.Budget.Acquire() {
 			r.denied.Add(1)
+			r.Metrics.RecordBudgetDenied()
 			return resp, err
 		}
 		r.retries.Add(1)
+		r.Metrics.RecordRetry(string(kind))
 		if !sleepCtx(ctx, r.backoff(url, attempt)) {
 			return resp, err
 		}

@@ -1,0 +1,290 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load() = %d, want 42", got)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("Value() = %d, want 1", got)
+	}
+	if got := g.HighWater(); got != 3 {
+		t.Errorf("HighWater() = %d, want 3", got)
+	}
+	// Going down never raises the mark; coming back up past it does.
+	g.Add(-5)
+	if got := g.HighWater(); got != 3 {
+		t.Errorf("HighWater() after Add(-5) = %d, want 3", got)
+	}
+	g.Add(10)
+	if got := g.HighWater(); got != 6 {
+		t.Errorf("HighWater() after climb = %d, want 6", got)
+	}
+}
+
+func TestGaugeConcurrentHighWater(t *testing.T) {
+	var g Gauge
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("Value() = %d, want 0 after balanced inc/dec", got)
+	}
+	if hw := g.HighWater(); hw < 1 || hw > workers {
+		t.Errorf("HighWater() = %d, want within [1, %d]", hw, workers)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	durs := []time.Duration{
+		5 * time.Microsecond,   // bucket 0 (≤10µs)
+		500 * time.Microsecond, // bucket 2 (≤1ms)
+		5 * time.Millisecond,   // bucket 3 (≤10ms)
+		2 * time.Second,        // overflow
+	}
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	s := h.snapshot()
+	if s.Count != int64(len(durs)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(durs))
+	}
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	if s.Sum != sum {
+		t.Errorf("Sum = %v, want %v", s.Sum, sum)
+	}
+	if s.Max != 2*time.Second {
+		t.Errorf("Max = %v, want 2s", s.Max)
+	}
+	if s.Mean != sum/time.Duration(len(durs)) {
+		t.Errorf("Mean = %v, want %v", s.Mean, sum/time.Duration(len(durs)))
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.N
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("buckets sum to %d, want %d", bucketTotal, s.Count)
+	}
+	// The overflow bucket is last, marked LE == -1.
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LE != -1 || last.N != 1 {
+		t.Errorf("overflow bucket = %+v, want {LE:-1 N:1}", last)
+	}
+}
+
+func TestVec(t *testing.T) {
+	var v Vec
+	if snap := v.snapshot(); snap != nil {
+		t.Errorf("empty vec snapshot = %v, want nil", snap)
+	}
+	if got := v.Load("missing"); got != 0 {
+		t.Errorf("Load(missing) = %d, want 0", got)
+	}
+	v.Add("timeout", 2)
+	v.Add("reset", 1)
+	v.Add("timeout", 1)
+	if got := v.Load("timeout"); got != 3 {
+		t.Errorf("Load(timeout) = %d, want 3", got)
+	}
+	snap := v.snapshot()
+	if len(snap) != 2 || snap["timeout"] != 3 || snap["reset"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestCrawlMetricsDepthTracking(t *testing.T) {
+	var m CrawlMetrics
+	m.RecordLevel(0, 10, 0)
+	m.RecordLevel(2, 5, 3)
+	if got := m.FrontierAdmitted.Load(); got != 15 {
+		t.Errorf("FrontierAdmitted = %d, want 15", got)
+	}
+	if got := m.FrontierTruncated.Load(); got != 3 {
+		t.Errorf("FrontierTruncated = %d, want 3", got)
+	}
+	want := []int64{10, 0, 5}
+	got := m.urlsByDepth()
+	if len(got) != len(want) {
+		t.Fatalf("urlsByDepth = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("urlsByDepth = %v, want %v", got, want)
+		}
+	}
+	// Out-of-range depths clamp instead of panicking, and an empty
+	// level leaves the depth table untouched.
+	m.RecordLevel(-4, 1, 0)
+	m.RecordLevel(maxDepthTrack+10, 1, 0)
+	m.RecordLevel(5, 0, 2)
+	byDepth := m.urlsByDepth()
+	if byDepth[0] != 11 || byDepth[maxDepthTrack-1] != 1 {
+		t.Errorf("clamped depths not recorded: %v", byDepth)
+	}
+}
+
+// TestNilSafeRecorders: every hot-path recording helper must tolerate a
+// nil receiver, so disabled-metrics runs pay only a nil check.
+func TestNilSafeRecorders(t *testing.T) {
+	(*FetchMetrics)(nil).RecordAttempt()
+	(*FetchMetrics)(nil).RecordRetry("timeout")
+	(*FetchMetrics)(nil).RecordBudgetDenied()
+	(*FaultMetrics)(nil).Inject("reset")
+	(*CrawlMetrics)(nil).RecordLevel(1, 10, 2)
+	(*PipelineMetrics)(nil).RecordAnnotation()
+	(*PipelineMetrics)(nil).RecordCountry("US", CountryCounters{}, false, nil)
+	(*PipelineMetrics)(nil).RecordCountryTimings("US", CountryTimings{})
+	(*PipelineMetrics)(nil).ObserveStage("crawl", time.Millisecond)
+}
+
+func TestPipelineRecordCountryRollup(t *testing.T) {
+	var m PipelineMetrics
+	m.RecordCountry("US", CountryCounters{
+		Attempted: 100, Records: 80, Failures: 15, Discarded: 3, Unusable: 2,
+	}, false, map[string]int{"timeout": 10, "dns": 5})
+	m.RecordCountry("NG", CountryCounters{VantageAttempts: 3}, true, nil)
+
+	if got := m.CountriesRun.Load(); got != 2 {
+		t.Errorf("CountriesRun = %d, want 2", got)
+	}
+	if got := m.CountriesFailed.Load(); got != 1 {
+		t.Errorf("CountriesFailed = %d, want 1", got)
+	}
+	if got := m.Records.Load(); got != 80 {
+		t.Errorf("Records = %d, want 80", got)
+	}
+	if got := m.Failures.Load(); got != 15 {
+		t.Errorf("Failures = %d, want 15", got)
+	}
+	if got := m.FailuresByKind.Load("timeout"); got != 10 {
+		t.Errorf("FailuresByKind[timeout] = %d, want 10", got)
+	}
+	rows := m.countrySnapshots()
+	if len(rows) != 2 || rows["US"].Attempted != 100 || rows["NG"].VantageAttempts != 3 {
+		t.Errorf("country rows = %+v", rows)
+	}
+}
+
+func TestObserveStage(t *testing.T) {
+	var m PipelineMetrics
+	m.ObserveStage("crawl", 2*time.Millisecond)
+	m.ObserveStage("crawl", 4*time.Millisecond)
+	m.ObserveStage("annotate", time.Millisecond)
+	stages := m.stageSnapshots()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %v, want 2 entries", stages)
+	}
+	if got := stages["crawl"]; got.Count != 2 || got.Sum != 6*time.Millisecond {
+		t.Errorf("crawl stage = %+v", got)
+	}
+}
+
+// TestDeterministicJSONStable: two registries fed the same counts — in
+// different orders and with different wall-clock observations — must
+// render byte-identical deterministic halves, while the full JSON may
+// differ. This is the property the chaos suite leans on.
+func TestDeterministicJSONStable(t *testing.T) {
+	feed := func(r *Registry, reverse bool, wait time.Duration) {
+		kinds := []string{"timeout", "reset", "5xx"}
+		if reverse {
+			for i, j := 0, len(kinds)-1; i < j; i, j = i+1, j-1 {
+				kinds[i], kinds[j] = kinds[j], kinds[i]
+			}
+		}
+		for _, k := range kinds {
+			r.Fetch.RecordRetry(k)
+			r.Faults.Inject(k)
+		}
+		r.Sched.ItemsScheduled.Add(10)
+		r.Sched.ItemsRun.Add(10)
+		r.Sched.QueueWait.Observe(wait)
+		r.Cache.Lookups.Add(5)
+		r.Cache.Hits.Add(3)
+		r.Cache.Misses.Add(2)
+		r.Crawl.RecordLevel(1, 7, 1)
+		r.Pipeline.RecordAnnotation()
+		r.Pipeline.RecordCountry("UY", CountryCounters{Attempted: 7, Records: 7}, false, nil)
+		r.Pipeline.RecordCountryTimings("UY", CountryTimings{Crawl: wait})
+		r.Pipeline.ObserveStage("crawl", wait)
+	}
+	a, b := New(), New()
+	feed(a, false, time.Millisecond)
+	feed(b, true, 7*time.Millisecond)
+
+	da, err := a.Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Errorf("deterministic halves diverged:\n%s\n---\n%s", da, db)
+	}
+	ja, err := a.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ja, jb) {
+		t.Error("full snapshots identical despite different wall-clock observations")
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	r := New()
+	r.Fetch.RecordAttempt()
+	r.Pipeline.RecordCountry("US", CountryCounters{Attempted: 3, Records: 3}, false, nil)
+	r.Pipeline.RecordCountryTimings("US", CountryTimings{Vantage: time.Millisecond})
+	r.Pipeline.ObserveStage("study", 10*time.Millisecond)
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"deterministic counters",
+		"excluded from golden comparisons",
+		"fetch.attempts",
+		"US  attempted=3",
+		"stage.study",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}

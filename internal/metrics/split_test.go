@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// wallClockFields walks a snapshot type and returns the paths of every
+// field whose type can carry wall-clock information: time.Duration,
+// time.Time, or any float (means, rates and ratios are derived from
+// timings or interleaving, never from seed-deterministic counts).
+func wallClockFields(path string, typ reflect.Type) []string {
+	switch typ {
+	case reflect.TypeOf(time.Duration(0)), reflect.TypeOf(time.Time{}):
+		return []string{path + " (" + typ.String() + ")"}
+	}
+	var out []string
+	switch typ.Kind() {
+	case reflect.Float32, reflect.Float64:
+		out = append(out, path+" ("+typ.Kind().String()+")")
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			out = append(out, wallClockFields(path+"."+f.Name, f.Type)...)
+		}
+	case reflect.Map:
+		out = append(out, wallClockFields(path+"[key]", typ.Key())...)
+		out = append(out, wallClockFields(path+"[]", typ.Elem())...)
+	case reflect.Slice, reflect.Array, reflect.Pointer:
+		out = append(out, wallClockFields(path+"[]", typ.Elem())...)
+	}
+	return out
+}
+
+// TestDeterministicSnapshotHasNoTimings enforces the package's split:
+// no duration, timestamp or float field may ever migrate into the
+// Deterministic half of the snapshot, because one such field silently
+// breaks every golden comparison built on DeterministicJSON. Adding a
+// timing to a metric means putting it in Runtime.
+func TestDeterministicSnapshotHasNoTimings(t *testing.T) {
+	for _, leak := range wallClockFields("Deterministic", reflect.TypeOf(Deterministic{})) {
+		t.Errorf("wall-clock field in the golden-comparable snapshot half: %s", leak)
+	}
+	// Self-check: the same walker must flag the Runtime half's
+	// histograms, or the assertion above would pass vacuously on a
+	// walker bug.
+	if got := wallClockFields("Runtime", reflect.TypeOf(Runtime{})); len(got) == 0 {
+		t.Fatal("walker found no wall-clock fields even in the Runtime half")
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Pool is a fixed-size worker pool. Tasks submitted with Submit run on
@@ -22,6 +25,10 @@ type Pool struct {
 	workers int
 	wg      sync.WaitGroup
 	budget  *Budget
+	// metrics is read through an atomic pointer so SetMetrics can be
+	// called after NewPool (workers are already running by then)
+	// without racing the worker loop's loads.
+	metrics atomic.Pointer[metrics.SchedMetrics]
 }
 
 // Budget is a study-wide cap on retry attempts, shared by every crawl
@@ -81,6 +88,12 @@ func (p *Pool) SetRetryBudget(b *Budget) { p.budget = b }
 // RetryBudget returns the attached budget, nil when none was set.
 func (p *Pool) RetryBudget() *Budget { return p.budget }
 
+// SetMetrics attaches the scheduler's metrics slice: deterministic
+// item counts from Each, plus queue-depth/occupancy high-water marks
+// and queue-wait latencies. Nil detaches. Safe to call while the pool
+// is running; recording starts with the next task.
+func (p *Pool) SetMetrics(m *metrics.SchedMetrics) { p.metrics.Store(m) }
+
 // NewPool starts a pool with the given number of worker goroutines.
 // A non-positive count is clamped to 1.
 func NewPool(workers int) *Pool {
@@ -97,11 +110,44 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.tasks {
-				fn()
+				if m := p.metrics.Load(); m != nil {
+					m.WorkersBusy.Inc()
+					fn()
+					m.WorkersBusy.Dec()
+				} else {
+					fn()
+				}
 			}
 		}()
 	}
 	return p
+}
+
+// enqueue accounts for one task entering the queue and returns the
+// closure to put on the channel; the wrapper settles the queue-depth
+// gauge and queue-wait histogram when a worker picks the task up. The
+// caller must call unenqueue if the send is abandoned.
+func (p *Pool) enqueue(m *metrics.SchedMetrics, fn func()) func() {
+	if m == nil {
+		return fn
+	}
+	m.TasksSubmitted.Inc()
+	m.QueueDepth.Inc()
+	start := time.Now()
+	return func() {
+		m.QueueDepth.Dec()
+		m.QueueWait.Observe(time.Since(start))
+		fn()
+	}
+}
+
+// unenqueue reverses enqueue's accounting for a task that was never
+// sent (cancelled submit, busy pool).
+func (p *Pool) unenqueue(m *metrics.SchedMetrics) {
+	if m != nil {
+		m.TasksSubmitted.Add(-1)
+		m.QueueDepth.Dec()
+	}
 }
 
 // Submit hands fn to a worker, blocking until one is free. It returns
@@ -116,10 +162,13 @@ func (p *Pool) Submit(ctx context.Context, fn func()) bool {
 		return false
 	default:
 	}
+	m := p.metrics.Load()
+	wrapped := p.enqueue(m, fn)
 	select {
-	case p.tasks <- fn:
+	case p.tasks <- wrapped:
 		return true
 	case <-ctx.Done():
+		p.unenqueue(m)
 		return false
 	}
 }
@@ -156,6 +205,10 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 	if n == 0 {
 		return
 	}
+	m := p.metrics.Load()
+	if m != nil {
+		m.ItemsScheduled.Add(int64(n))
+	}
 	// Several chunks per worker keeps load balanced when item costs
 	// vary without giving back the per-chunk claim cost.
 	chunk := n / (p.workers * 4)
@@ -163,16 +216,29 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 		chunk = minChunk
 	}
 	if chunk >= n {
+		ran := 0
 		for i := 0; i < n; i++ {
 			if i > 0 && ctx.Err() != nil {
-				return
+				break
 			}
 			fn(i)
+			ran++
+		}
+		if m != nil {
+			m.ItemsRun.Add(int64(ran))
 		}
 		return
 	}
 	var cursor atomic.Int64
 	run := func() {
+		// Items are tallied per claimant, not per item: one atomic add
+		// when the claimant stops, however many chunks it ran.
+		var ran int64
+		defer func() {
+			if m != nil && ran > 0 {
+				m.ItemsRun.Add(ran)
+			}
+		}()
 		for ctx.Err() == nil {
 			start := int(cursor.Add(int64(chunk))) - chunk
 			if start >= n {
@@ -187,6 +253,7 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 					return
 				}
 				fn(i)
+				ran++
 			}
 		}
 	}
@@ -201,12 +268,14 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 	for i := 0; i < helpers; i++ {
 		wg.Add(1)
 		ok := false
+		task := p.enqueue(m, run)
 		select {
-		case p.tasks <- func() { defer wg.Done(); run() }:
+		case p.tasks <- func() { defer wg.Done(); task() }:
 			ok = true
 		default:
 		}
 		if !ok {
+			p.unenqueue(m)
 			wg.Done()
 			break
 		}
