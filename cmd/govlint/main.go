@@ -1,0 +1,111 @@
+// Command govlint mechanically enforces the repository's determinism
+// and concurrency invariants with the stdlib-only static analyzer in
+// internal/lint:
+//
+//	go run ./cmd/govlint ./...         # whole module (the tier-1 leg)
+//	go run ./cmd/govlint ./internal/export ./internal/report
+//	go run ./cmd/govlint -json ./...   # machine-readable diagnostics
+//	go run ./cmd/govlint -rules        # list the rule set
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error. Intentional
+// violations are suppressed in-source with
+//
+//	//lint:ignore rule-name -- reason
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: govlint [-json] [-rules] ./... | <package dirs>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.DefaultRules() {
+			fmt.Printf("%-18s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	runner, err := lint.NewRunner(".")
+	if err != nil {
+		fatal(err)
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			err = runner.CheckModule()
+		case strings.HasSuffix(arg, "/..."):
+			err = checkTree(runner, strings.TrimSuffix(arg, "/..."))
+		default:
+			err = runner.CheckDir(arg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	diags := runner.Diagnostics()
+	if *jsonOut {
+		data, err := lint.JSON(diags)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		fmt.Print(lint.Text(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkTree lints every package directory under root (a "dir/..."
+// argument scoped below the module root).
+func checkTree(runner *lint.Runner, root string) error {
+	dirs, err := runner.Loader.ModuleDirs()
+	if err != nil {
+		return err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	matched := false
+	for _, dir := range dirs {
+		if dir == abs || strings.HasPrefix(dir, abs+string(filepath.Separator)) {
+			if err := runner.CheckDir(dir); err != nil {
+				return err
+			}
+			matched = true
+		}
+	}
+	if !matched {
+		return fmt.Errorf("govlint: no packages under %s", root)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "govlint:", err)
+	os.Exit(2)
+}

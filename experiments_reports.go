@@ -666,11 +666,19 @@ func max(a, b int) int {
 }
 
 // failKindOrder fixes the column order of the coverage report so equal
-// datasets render equal bytes.
-var failKindOrder = []fetch.FailKind{
-	fetch.FailDNS, fetch.FailTimeout, fetch.FailReset,
-	fetch.FailGeoBlocked, fetch.Fail5xx, fetch.FailTruncated, fetch.FailOther,
-}
+// datasets render equal bytes. It derives from fetch.AllKinds — not a
+// hand-written list — so a taxonomy addition grows the table columns
+// automatically; FailNone is success, not a failure column.
+var failKindOrder = func() []fetch.FailKind {
+	all := fetch.AllKinds()
+	kinds := make([]fetch.FailKind, 0, len(all))
+	for _, k := range all {
+		if k != fetch.FailNone {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}()
 
 // reportCoverage renders the collection-coverage and failure-taxonomy
 // accounting: how many landing/internal fetches each country attempted,

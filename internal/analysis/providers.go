@@ -189,10 +189,15 @@ func HHIByGroup(divs []Diversification) (urls, bytes map[world.Category][]float6
 	return urls, bytes
 }
 
+// mapValues returns m's values in ascending order. Sorting matters:
+// the slices feed float accumulations (HHI sums), and summing in Go's
+// randomized map order would make the low bits of the result vary from
+// run to run.
 func mapValues(m map[int]float64) []float64 {
 	out := make([]float64, 0, len(m))
 	for _, v := range m {
 		out = append(out, v)
 	}
+	sort.Float64s(out)
 	return out
 }

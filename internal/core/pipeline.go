@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/crawler"
@@ -99,20 +98,15 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	// pool.
 	results := make([]countryResult, len(countries))
 	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.CountryConcurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					continue // drain the remaining indexes without working
-				}
-				recs, stats, methods, err := env.runCountry(ctx, countries[i], pool)
-				results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
+	wait := sched.Workers(cfg.CountryConcurrency, func(int) {
+		for i := range idx {
+			if ctx.Err() != nil {
+				continue // drain the remaining indexes without working
 			}
-		}()
-	}
+			recs, stats, methods, err := env.runCountry(ctx, countries[i], pool)
+			results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
+		}
+	})
 feed:
 	for i := range countries {
 		select {
@@ -122,7 +116,7 @@ feed:
 		}
 	}
 	close(idx)
-	wg.Wait()
+	wait()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

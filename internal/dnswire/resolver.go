@@ -181,6 +181,7 @@ func (r *Resolver) query(ctx context.Context, name string, id uint16) (Result, t
 				continue
 			}
 		}
+		//lint:ignore context-cancel -- per-attempt query context; cancel() runs unconditionally on the next line, a defer would pile timers up across the retry loop
 		qctx, cancel := context.WithTimeout(ctx, r.timeout())
 		resp, err := Exchange(qctx, r.Server, NewQuery(id+uint16(i), name, TypeA))
 		cancel()

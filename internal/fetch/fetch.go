@@ -62,6 +62,19 @@ const (
 	FailOther      FailKind = "other"       // anything unclassified
 )
 
+// AllKinds returns every declared failure kind in report order:
+// FailNone first, then the failure buckets as Tables 3–4 list them.
+// Reports and accounting loops iterate this instead of hand-written
+// kind lists, so a taxonomy addition shows up everywhere at once —
+// govlint's failkind-switch rule enforces the same property for
+// switches.
+func AllKinds() []FailKind {
+	return []FailKind{
+		FailNone, FailDNS, FailTimeout, FailReset,
+		FailGeoBlocked, Fail5xx, FailTruncated, FailOther,
+	}
+}
+
 // ErrHostNotFound marks DNS-style resolution failures; backends wrap
 // it so classification does not depend on error strings.
 var ErrHostNotFound = errors.New("fetch: host not found")
@@ -124,11 +137,16 @@ func ClassifyResponse(resp *Response) FailKind {
 
 // RetryableKind reports whether a failure bucket is worth retrying:
 // timeouts, resets, server errors and truncations are transient on the
-// live web; NXDOMAIN and geo-blocks are verdicts.
+// live web; NXDOMAIN and geo-blocks are verdicts. The switch
+// deliberately enumerates every kind with no default so that adding a
+// taxonomy entry forces an explicit retry decision here (govlint's
+// failkind-switch rule breaks the build otherwise).
 func RetryableKind(k FailKind) bool {
 	switch k {
 	case FailTimeout, FailReset, Fail5xx, FailTruncated:
 		return true
+	case FailNone, FailDNS, FailGeoBlocked, FailOther:
+		return false
 	}
 	return false
 }

@@ -103,6 +103,7 @@ func (r *Retrier) Fetch(ctx context.Context, url string) (*Response, error) {
 	for attempt := 0; attempt < max; attempt++ {
 		actx, cancel := ctx, func() {}
 		if t := r.Policy.PerAttemptTimeout; t > 0 {
+			//lint:ignore context-cancel -- per-attempt context; cancel() runs unconditionally right after the attempt, a defer would pile timers up across the retry loop
 			actx, cancel = context.WithTimeout(ctx, t)
 		}
 		if af != nil {

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostics file")
+
+// TestGolden locks the rendered diagnostics of every fixture package
+// against testdata/golden.txt, byte for byte: positions, rule names and
+// message wording are all part of the contract (the tier-1 verify leg
+// diffs this output shape). Regenerate with `go test ./internal/lint
+// -run Golden -update` after an intentional change.
+func TestGolden(t *testing.T) {
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range fixtureDirs(t) {
+		if err := runner.CheckDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := Text(runner.Diagnostics())
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture diagnostics drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

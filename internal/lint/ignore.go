@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// the named rules on its own line and on the line directly below it —
+// i.e. it is written either at the end of the offending line or on the
+// line immediately above the offending statement.
+type ignoreDirective struct {
+	line   int
+	rules  map[string]bool
+	reason string
+	bad    string // non-empty when the directive is malformed
+}
+
+const (
+	ignorePrefix = "//lint:ignore"
+	// deterministicTag opts a package into the deterministic-output
+	// rule scope (nondeterminism + map-order) without editing the
+	// central list in rules.go; used by new deterministic-path packages
+	// and by the lint fixtures.
+	deterministicTag = "//lint:deterministic"
+)
+
+// parseIgnore parses the text of one //lint:ignore comment:
+//
+//	//lint:ignore rule1,rule2 -- reason
+//
+// The reason is mandatory: a suppression that does not say why the
+// violation is intentional is itself a diagnostic.
+func parseIgnore(text string) ignoreDirective {
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	if rest == text {
+		return ignoreDirective{bad: "not an ignore directive"}
+	}
+	rest = strings.TrimSpace(rest)
+	ruleList, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return ignoreDirective{bad: "missing '-- reason'"}
+	}
+	d := ignoreDirective{rules: map[string]bool{}, reason: strings.TrimSpace(reason)}
+	for _, r := range strings.FieldsFunc(strings.TrimSpace(ruleList), func(c rune) bool { return c == ',' || c == ' ' }) {
+		d.rules[r] = true
+	}
+	if len(d.rules) == 0 {
+		return ignoreDirective{bad: "no rule names before '--'"}
+	}
+	return d
+}
+
+// collectIgnores gathers every //lint:ignore directive per file.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := map[string][]ignoreDirective{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := parseIgnore(c.Text)
+				d.line = pos.Line
+				out[pos.Filename] = append(out[pos.Filename], d)
+			}
+		}
+	}
+	return out
+}
+
+// hasDeterministicTag reports whether any file of the package carries
+// the //lint:deterministic opt-in tag.
+func hasDeterministicTag(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if text, _, _ := strings.Cut(c.Text, " "); text == deterministicTag {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// suppressed reports whether a diagnostic of rule at pos is covered by
+// an ignore directive (same line or the line above).
+func (p *Package) suppressed(pos token.Position, rule string) bool {
+	for _, d := range p.ignores[pos.Filename] {
+		if d.bad != "" {
+			continue
+		}
+		if (d.line == pos.Line || d.line == pos.Line-1) && d.rules[rule] {
+			return true
+		}
+	}
+	return false
+}

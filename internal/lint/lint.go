@@ -1,0 +1,199 @@
+// Package lint is a self-contained static-analysis engine that
+// mechanically enforces this repository's determinism and concurrency
+// invariants: the headline guarantee that equal seeds produce
+// byte-identical datasets, exports and deterministic metric snapshots
+// at any concurrency shape. The chaos suite checks those properties
+// dynamically for the packages it happens to exercise; the analyzer
+// checks the source of every package on every run, so a future PR
+// cannot quietly reintroduce a wall-clock read, an unsorted map
+// iteration or an unbudgeted goroutine.
+//
+// The engine is built exclusively on the standard library's go/ast,
+// go/parser and go/types (the module has zero dependencies and the
+// build environment is offline); stdlib imports are type-checked from
+// GOROOT source. Rules are pluggable (see Rule), diagnostics carry
+// file:line positions, and intentional violations are suppressed
+// in-source with
+//
+//	//lint:ignore rule-name -- reason
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory. Run it as `go run ./cmd/govlint ./...`.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned and attributable to a rule.
+type Diagnostic struct {
+	File    string `json:"file"` // module-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one invariant check. Check inspects a type-checked package
+// and reports findings through report; suppression, sorting and
+// rendering are the engine's job.
+type Rule interface {
+	Name() string
+	Doc() string
+	Check(pkg *Package, r *Reporter)
+}
+
+// Reporter collects diagnostics for one (package, rule) pass.
+type Reporter struct {
+	runner *Runner
+	pkg    *Package
+	rule   string
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// covers it.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	position := r.runner.Loader.Fset.Position(pos)
+	if r.pkg.suppressed(position, r.rule) {
+		return
+	}
+	rel, err := filepath.Rel(r.runner.Loader.ModRoot, position.Filename)
+	if err != nil {
+		rel = position.Filename
+	}
+	r.runner.diags = append(r.runner.diags, Diagnostic{
+		File:    filepath.ToSlash(rel),
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    r.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Runner drives a rule set over packages and accumulates diagnostics.
+type Runner struct {
+	Loader *Loader
+	Rules  []Rule
+
+	diags []Diagnostic
+}
+
+// NewRunner builds a runner with the default rule set for the module
+// containing dir.
+func NewRunner(dir string) (*Runner, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Loader: l, Rules: DefaultRules()}, nil
+}
+
+// CheckDir loads the package in dir and runs every rule over it.
+func (r *Runner) CheckDir(dir string) error {
+	pkg, err := r.Loader.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	r.checkPackage(pkg)
+	return nil
+}
+
+// CheckModule runs every rule over every package of the module.
+func (r *Runner) CheckModule() error {
+	dirs, err := r.Loader.ModuleDirs()
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		if err := r.CheckDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) checkPackage(pkg *Package) {
+	for _, rule := range r.Rules {
+		rule.Check(pkg, &Reporter{runner: r, pkg: pkg, rule: rule.Name()})
+	}
+	r.checkDirectives(pkg)
+}
+
+// checkDirectives flags malformed //lint:ignore comments: a
+// suppression without a reason must not silently suppress.
+func (r *Runner) checkDirectives(pkg *Package) {
+	rep := &Reporter{runner: r, pkg: pkg, rule: "bad-ignore"}
+	for file, ds := range pkg.ignores {
+		for _, d := range ds {
+			if d.bad == "" {
+				continue
+			}
+			rel, err := filepath.Rel(r.Loader.ModRoot, file)
+			if err != nil {
+				rel = file
+			}
+			rep.runner.diags = append(rep.runner.diags, Diagnostic{
+				File: filepath.ToSlash(rel), Line: d.line, Col: 1,
+				Rule:    "bad-ignore",
+				Message: fmt.Sprintf("malformed //lint:ignore directive: %s (want //lint:ignore rule -- reason)", d.bad),
+			})
+		}
+	}
+}
+
+// Diagnostics returns the accumulated findings, deterministically
+// ordered (file, line, column, rule) and deduplicated.
+func (r *Runner) Diagnostics() []Diagnostic {
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	out := r.diags[:0]
+	for i, d := range r.diags {
+		if i == 0 || d != r.diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	r.diags = out
+	return out
+}
+
+// Text renders diagnostics one per line, golden-diffable.
+func Text(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JSON renders diagnostics as an indented JSON array for machine
+// consumption ([] rather than null when clean).
+func JSON(diags []Diagnostic) ([]byte, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return json.MarshalIndent(diags, "", "  ")
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// contextCancelRule requires that every context.WithCancel /
+// WithTimeout / WithDeadline (and their Cause variants) is paired with
+// a defer cancel() in the same function. An unreleased cancel leaks
+// the context's timer and child goroutine; a cancel called only on
+// some paths leaks them on the others. Loops that must release
+// per-iteration contexts immediately (the retry paths) suppress the
+// rule with a reason.
+type contextCancelRule struct{}
+
+func (contextCancelRule) Name() string { return "context-cancel" }
+func (contextCancelRule) Doc() string {
+	return "context.WithCancel/WithTimeout/WithDeadline must be followed by defer cancel() in the same function"
+}
+
+var cancelReturning = map[string]bool{
+	"WithCancel":        true,
+	"WithCancelCause":   true,
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+func (contextCancelRule) Check(pkg *Package, r *Reporter) {
+	funcBodies(pkg, func(name string, body *ast.BlockStmt) {
+		deferred := deferredObjects(pkg, body)
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Rhs) != 1 || len(a.Lhs) != 2 {
+				return
+			}
+			call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			f := calleeFunc(pkg.Info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" || !cancelReturning[f.Name()] {
+				return
+			}
+			cancelIdent, ok := ast.Unparen(a.Lhs[1]).(*ast.Ident)
+			if !ok {
+				r.Reportf(a.Pos(), "context.%s cancel assigned to a non-identifier; it cannot be deferred", f.Name())
+				return
+			}
+			if cancelIdent.Name == "_" {
+				r.Reportf(a.Pos(), "context.%s cancel discarded; the context's resources are never released", f.Name())
+				return
+			}
+			obj := pkg.Info.Defs[cancelIdent]
+			if obj == nil {
+				obj = pkg.Info.Uses[cancelIdent]
+			}
+			if obj == nil || !deferred[obj] {
+				r.Reportf(a.Pos(), "context.%s must be followed by `defer %s()` in %s", f.Name(), cancelIdent.Name, name)
+			}
+		})
+	})
+}
+
+// deferredObjects collects every object called (directly, or inside a
+// deferred function literal) by a defer statement of body.
+func deferredObjects(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		switch fun := ast.Unparen(d.Call.Fun).(type) {
+		case *ast.Ident:
+			record(fun)
+		case *ast.FuncLit:
+			// defer func() { …; cancel(); … }()
+			ast.Inspect(fun.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					record(c.Fun)
+				}
+				return true
+			})
+		}
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// fetchPkgPath is the package that owns the failure taxonomy.
+const fetchPkgPath = "repro/internal/fetch"
+
+// failKindRule requires every switch over fetch.FailKind to cover all
+// declared kinds or carry a default clause. The taxonomy drives the
+// coverage accounting of Tables 3–4: when a fault PR adds a kind, an
+// enumerating switch without it silently drops the new bucket from
+// retries, stats lines and reports — this rule turns that silence into
+// a build break. The declared kinds are discovered from the fetch
+// package's constants, so the rule needs no updating when the taxonomy
+// grows.
+type failKindRule struct{}
+
+func (failKindRule) Name() string { return "failkind-switch" }
+func (failKindRule) Doc() string {
+	return "every switch over fetch.FailKind must cover all declared kinds or have a default case"
+}
+
+// isFailKind reports whether t (or its core) is the fetch.FailKind
+// named type.
+func isFailKind(t types.Type) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	if obj.Pkg().Path() == fetchPkgPath && obj.Name() == "FailKind" {
+		return named, true
+	}
+	return nil, false
+}
+
+// declaredKinds enumerates the constants of type fetch.FailKind in the
+// taxonomy's owning package: value → constant name.
+func declaredKinds(named *types.Named) map[string]string {
+	scope := named.Obj().Pkg().Scope()
+	out := map[string]string{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out[c.Val().ExactString()] = name
+	}
+	return out
+}
+
+func (failKindRule) Check(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := isFailKind(tv.Type)
+			if !ok {
+				return true
+			}
+			want := declaredKinds(named)
+			covered := map[string]bool{}
+			for _, c := range sw.Body.List {
+				clause := c.(*ast.CaseClause)
+				if clause.List == nil {
+					return true // default clause: exhaustive by construction
+				}
+				for _, e := range clause.List {
+					if v := pkg.Info.Types[e].Value; v != nil && v.Kind() == constant.String {
+						covered[v.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for val, name := range want {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				r.Reportf(sw.Pos(), "switch over fetch.FailKind is not exhaustive: missing %s (cover every kind or add a default so new taxonomy entries cannot silently drop out of the accounting)",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}

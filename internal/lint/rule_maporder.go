@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapOrderRule flags range statements over maps, in the
+// deterministic-output packages, whose bodies leak Go's randomized
+// iteration order into state that outlives the loop: writes to
+// builders/writers/tables, plain assignments to outer variables, or
+// key/value accumulation into slices that are never sorted. The
+// canonical safe patterns pass untouched:
+//
+//   - collect the keys into a slice and sort it in the same function
+//     before use (sort.* or slices.Sort* with the slice as argument);
+//   - write through a map index (building another map is
+//     order-independent);
+//   - accumulate with += / ++ style commutative updates;
+//   - read-only predicates (membership tests, equality checks).
+//
+// Everything else is assumed to leak: a diagnostic names the first
+// offending statement so the fix (sort the keys first) is mechanical.
+type mapOrderRule struct{}
+
+func (mapOrderRule) Name() string { return "map-order" }
+func (mapOrderRule) Doc() string {
+	return "flag map iteration whose body leaks the randomized order into escaping state; sort the keys first"
+}
+
+func (mapOrderRule) Check(pkg *Package, r *Reporter) {
+	if !isDeterministic(pkg) {
+		return
+	}
+	funcBodies(pkg, func(name string, body *ast.BlockStmt) {
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			scan := &mapLoopScan{pkg: pkg, loop: rs, funcBody: body}
+			scan.classifyBlock(rs.Body)
+			if scan.leak == nil {
+				scan.checkPendingSorted()
+			}
+			if scan.leak != nil {
+				r.Reportf(rs.Pos(), "iteration over %s leaks map order: %s", shortType(tv.Type), scan.leak.why)
+			}
+		})
+	})
+}
+
+type mapLeak struct {
+	pos token.Pos
+	why string
+}
+
+type mapLoopScan struct {
+	pkg      *Package
+	loop     *ast.RangeStmt
+	funcBody *ast.BlockStmt
+	// pending are outer-scope slices appended to inside the loop; they
+	// are fine iff the function later sorts them.
+	pending []types.Object
+	leak    *mapLeak
+}
+
+func (s *mapLoopScan) fail(pos token.Pos, format string, args ...any) {
+	if s.leak == nil {
+		s.leak = &mapLeak{pos: pos, why: fmt.Sprintf(format, args...)}
+	}
+}
+
+// localToLoop reports whether obj is declared inside the range
+// statement — the key/value variables included — so writes to it (or
+// through it, when it is the per-entry value pointer) are keyed to the
+// current entry and cannot order escaping state.
+func (s *mapLoopScan) localToLoop(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= s.loop.Pos() && obj.Pos() <= s.loop.End()
+}
+
+func (s *mapLoopScan) identObj(e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := s.pkg.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return s.pkg.Info.Uses[id]
+	}
+	return nil
+}
+
+// rootObj peels selectors, dereferences and index expressions off e and
+// resolves the base identifier: st.Hostnames, *mix and st.X[i] all root
+// at the loop variable when st/mix is one.
+func (s *mapLoopScan) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return s.identObj(e)
+		}
+	}
+}
+
+func (s *mapLoopScan) classifyBlock(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		s.classifyStmt(st)
+		if s.leak != nil {
+			return
+		}
+	}
+}
+
+func (s *mapLoopScan) classifyStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.classifyAssign(st)
+	case *ast.IncDecStmt:
+		// Counters commute; n++ is order-independent.
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.BranchStmt, *ast.ReturnStmt:
+		// Declarations are loop-local; break/continue and predicate
+		// returns do not order any escaping output.
+	case *ast.ExprStmt:
+		s.classifyCall(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.classifyStmt(st.Init)
+		}
+		s.classifyBlock(st.Body)
+		if st.Else != nil {
+			s.classifyStmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		s.classifyBlock(st)
+	case *ast.ForStmt:
+		s.classifyBlock(st.Body)
+	case *ast.RangeStmt:
+		s.classifyBlock(st.Body)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				s.classifyStmt(cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				s.classifyStmt(cs)
+			}
+		}
+	default:
+		// go, defer, send, select, labeled…: conservatively a leak.
+		s.fail(st.Pos(), "statement of type %T inside the loop body has iteration-order-dependent effects", st)
+	}
+}
+
+// classifyAssign admits loop-local definitions, map-index writes,
+// commutative compound updates and sorted-later appends; anything else
+// writing to outer state leaks the order.
+func (s *mapLoopScan) classifyAssign(a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if a.Tok == token.DEFINE {
+			continue // := introduces loop-locals
+		}
+		if obj := s.rootObj(lhs); obj != nil && s.localToLoop(obj) {
+			continue // write lands in the current entry's value or a loop-local
+		}
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if tv, ok := s.pkg.Info.Types[ix.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					continue // building a map is itself order-independent
+				}
+			}
+		}
+		if a.Tok != token.ASSIGN {
+			// Compound updates (+=, -=, *=, |=, &=, ^=) commute over
+			// the iteration for numeric and string-concat-free types;
+			// string += builds order-dependent output.
+			if tv, ok := s.pkg.Info.Types[lhs]; ok {
+				if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsNumeric != 0 {
+					continue
+				}
+			}
+			s.fail(a.Pos(), "compound update of non-numeric %s depends on iteration order", exprString(lhs))
+			return
+		}
+		// Plain = to an outer variable: the append-and-sort idiom is
+		// deferred to checkPendingSorted; everything else leaks.
+		if len(a.Rhs) == len(a.Lhs) {
+			if call, ok := ast.Unparen(a.Rhs[i]).(*ast.CallExpr); ok && isAppendTo(s.pkg.Info, call, s.identObj(lhs)) {
+				if obj := s.identObj(lhs); obj != nil {
+					s.pending = append(s.pending, obj)
+					continue
+				}
+			}
+		}
+		s.fail(a.Pos(), "assignment to %s overwrites outer state in iteration order", exprString(lhs))
+		return
+	}
+}
+
+// classifyCall judges a statement-level call: effects on loop-local
+// receivers are contained; delete(map, k) commutes; anything else
+// (Fprintf to a builder, Table.AddRow, encoder writes…) emits in
+// iteration order.
+func (s *mapLoopScan) classifyCall(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		s.fail(e.Pos(), "expression statement inside the loop body")
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := s.pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "delete" {
+			return // removing entries commutes
+		}
+	case *ast.SelectorExpr:
+		if obj := s.rootObj(fun.X); obj != nil && s.localToLoop(obj) {
+			return // method call on the current entry's value or a loop-local
+		}
+	}
+	s.fail(call.Pos(), "call to %s emits in iteration order", exprString(call.Fun))
+}
+
+// checkPendingSorted verifies every slice appended to inside the loop
+// is handed to sort.* or slices.Sort* somewhere in the enclosing
+// function; otherwise the accumulated order is the map's.
+func (s *mapLoopScan) checkPendingSorted() {
+	for _, obj := range s.pending {
+		if !s.sortedInFunc(obj) {
+			s.fail(s.loop.Pos(), "keys accumulated into %s are never sorted in this function; sort before use", obj.Name())
+			return
+		}
+	}
+}
+
+func (s *mapLoopScan) sortedInFunc(obj types.Object) bool {
+	sorted := false
+	ast.Inspect(s.funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(s.pkg.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if s.identObj(arg) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isAppendTo reports whether call is append(dst, …) growing dst.
+func isAppendTo(info *types.Info, call *ast.CallExpr, dst types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || dst == nil {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && (info.Uses[first] == dst || info.Defs[first] == dst)
+}
+
+// inspectSkippingFuncLits walks n without descending into nested
+// function literals (each literal body is analyzed as its own
+// function).
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// exprString renders a short source-ish form of simple expressions for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	}
+	return fmt.Sprintf("%T", e)
+}

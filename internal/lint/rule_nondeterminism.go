@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondeterminismRule forbids entropy and wall-clock sources in the
+// deterministic-output packages. Everything those packages emit must
+// be a pure function of the study seed: time must come from injected
+// values, randomness from a seeded *rand.Rand derived via internal/rng
+// (rand.New / rand.NewSource are therefore allowed; the global
+// math/rand stream is not — two goroutines draw from it in scheduling
+// order, which varies with the concurrency shape).
+type nondeterminismRule struct{}
+
+func (nondeterminismRule) Name() string { return "nondeterminism" }
+func (nondeterminismRule) Doc() string {
+	return "forbid time.Now, the global math/rand stream and ambient timers in deterministic-output packages"
+}
+
+// forbiddenTime are the wall-clock and ambient-timer entry points.
+// time.Duration arithmetic and parsing stay legal; reading the clock
+// or racing a timer does not.
+var forbiddenTime = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"After":     "starts an ambient timer",
+	"Tick":      "starts an ambient ticker",
+	"NewTimer":  "starts an ambient timer",
+	"NewTicker": "starts an ambient ticker",
+	"AfterFunc": "starts an ambient timer",
+	"Sleep":     "stalls on the wall clock",
+}
+
+// forbiddenRand are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"IntN": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"N": true, "Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func (nondeterminismRule) Check(pkg *Package, r *Reporter) {
+	if !isDeterministic(pkg) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pkg.Info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods are fine: r.Float64() on a seeded *rand.Rand and
+				// t.Format() on an injected time.Time are the approved
+				// idioms — only the package-level entry points reach the
+				// wall clock or the shared global stream.
+				return true
+			}
+			switch f.Pkg().Path() {
+			case "time":
+				if why, bad := forbiddenTime[f.Name()]; bad {
+					r.Reportf(call.Pos(), "time.%s %s; deterministic packages must derive all timing from injected values", f.Name(), why)
+				}
+			case "math/rand", "math/rand/v2":
+				if forbiddenRand[f.Name()] {
+					r.Reportf(call.Pos(), "rand.%s draws from the global math/rand stream, whose order depends on goroutine interleaving; use a seeded generator from internal/rng", f.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// schedulerBypassRule forbids naked go statements outside the
+// scheduler itself and the socket-server packages. All pipeline
+// concurrency must flow through sched.Pool (or sched.Workers), which
+// is what keeps a study's goroutine count at the configured
+// CountryConcurrency + FetchConcurrency budget and keeps completion
+// order out of the data path. Server accept loops (webserve, dnswire)
+// legitimately spawn per connection; other intentional spawns — e.g.
+// the probing agent's delayed echo replies — carry a //lint:ignore
+// with a reason. Test files are not analyzed, so tests may spawn
+// freely.
+type schedulerBypassRule struct{}
+
+func (schedulerBypassRule) Name() string { return "scheduler-bypass" }
+func (schedulerBypassRule) Doc() string {
+	return "forbid naked go statements outside internal/sched and the socket servers; use sched.Pool"
+}
+
+func (schedulerBypassRule) Check(pkg *Package, r *Reporter) {
+	if isGoAllowed(pkg) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				r.Reportf(g.Pos(), "naked go statement bypasses the bounded scheduler; route the work through sched.Pool or sched.Workers so it stays within the goroutine budget")
+			}
+			return true
+		})
+	}
+}

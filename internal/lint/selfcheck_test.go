@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoIsClean runs the whole rule set over the whole module — the
+// same check as `go run ./cmd/govlint ./...` — and requires zero
+// findings. Every intentional violation must carry a reasoned
+// //lint:ignore, so a red result here means either a real regression
+// or an unexplained suppression.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.CheckModule(); err != nil {
+		t.Fatal(err)
+	}
+	if diags := runner.Diagnostics(); len(diags) > 0 {
+		t.Errorf("govlint is not clean on the repository:\n%s", Text(diags))
+	}
+}

@@ -1,0 +1,12 @@
+// Package badignore exercises the bad-ignore check: a suppression
+// without a reason is itself a diagnostic, and it does not suppress.
+//
+//lint:deterministic
+package badignore
+
+import "time"
+
+func reasonless() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now() // want `nondeterminism: time\.Now reads the wall clock`
+}

@@ -1,0 +1,56 @@
+// Package ctxcancel exercises the context-cancel rule: every
+// cancel-returning context constructor needs a defer cancel() in the
+// same function.
+package ctxcancel
+
+import (
+	"context"
+	"time"
+)
+
+func leaks(ctx context.Context) context.Context {
+	c, cancel := context.WithTimeout(ctx, time.Second) // want `context-cancel: context\.WithTimeout must be followed by .defer cancel\(\)`
+	_ = cancel
+	return c
+}
+
+func discards(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `context-cancel: context\.WithCancel cancel discarded`
+	return c
+}
+
+func ok(ctx context.Context) error {
+	c, cancel := context.WithDeadline(ctx, time.Time{})
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+// okDeferredLit releases through a deferred closure; that counts.
+func okDeferredLit(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer func() { cancel() }()
+	_ = c
+}
+
+// okInLit checks that function literals are analyzed as their own
+// functions.
+func okInLit(ctx context.Context) func() {
+	return func() {
+		c, cancel := context.WithTimeout(ctx, time.Second)
+		defer cancel()
+		_ = c
+	}
+}
+
+// suppressedLoop is the retry-loop shape: the per-iteration context is
+// released unconditionally at the end of the iteration, and a defer
+// would pile timers up until the loop exits.
+func suppressedLoop(ctx context.Context, work func(context.Context)) {
+	for i := 0; i < 3; i++ {
+		//lint:ignore context-cancel -- fixture: released unconditionally at the end of the iteration
+		c, cancel := context.WithTimeout(ctx, time.Second)
+		work(c)
+		cancel()
+	}
+}

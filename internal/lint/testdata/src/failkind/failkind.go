@@ -1,0 +1,47 @@
+// Package failkind exercises the failkind-switch rule: a switch over
+// fetch.FailKind must cover the whole taxonomy or carry a default.
+// When a PR adds a kind to internal/fetch, the "missing" list in the
+// expectation below grows and this fixture — like every enumerating
+// switch in the repo — fails the lint run until the new kind gets an
+// explicit decision.
+package failkind
+
+import "repro/internal/fetch"
+
+func partial(k fetch.FailKind) bool {
+	switch k { // want `failkind-switch: switch over fetch\.FailKind is not exhaustive: missing Fail5xx, FailDNS, FailGeoBlocked, FailNone, FailOther, FailTruncated`
+	case fetch.FailTimeout, fetch.FailReset:
+		return true
+	}
+	return false
+}
+
+// withDefault is exhaustive by construction.
+func withDefault(k fetch.FailKind) string {
+	switch k {
+	case fetch.FailGeoBlocked:
+		return "blocked"
+	default:
+		return "other"
+	}
+}
+
+// exhaustive names every kind; adding one to the taxonomy makes this a
+// finding.
+func exhaustive(k fetch.FailKind) bool {
+	switch k {
+	case fetch.FailNone, fetch.FailDNS, fetch.FailTimeout, fetch.FailReset,
+		fetch.FailGeoBlocked, fetch.Fail5xx, fetch.FailTruncated, fetch.FailOther:
+		return true
+	}
+	return false
+}
+
+func suppressedPartial(k fetch.FailKind) bool {
+	//lint:ignore failkind-switch -- fixture: deliberately partial view with an explained reason
+	switch k {
+	case fetch.FailDNS:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Package maporder exercises the map-order rule: iteration over a map
+// may not leak Go's randomized order into escaping state.
+//
+//lint:deterministic
+package maporder
+
+import "sort"
+
+// leakEmit emits keys in iteration order: the classic leak.
+func leakEmit(m map[string]int, sink func(string)) {
+	for k := range m { // want `map-order: iteration over map\[string\]int leaks map order: call to sink emits`
+		sink(k)
+	}
+}
+
+// leakUnsorted accumulates keys but never sorts them.
+func leakUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map-order: .* keys accumulated into keys are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// leakOverwrite races iteration order into a last-writer-wins slot.
+func leakOverwrite(m map[string]int, out *int) {
+	for _, v := range m { // want `map-order: .* assignment to \*out overwrites outer state`
+		*out = v
+	}
+}
+
+// sortedKeys is the canonical safe idiom: collect, then sort in the
+// same function.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// invert builds another map: order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// total accumulates commutatively.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+type entry struct{ hits int }
+
+// resetEntries writes through the per-entry value pointer: each write
+// lands in the current entry, so order cannot matter.
+func resetEntries(m map[string]*entry) {
+	for _, e := range m {
+		e.hits = 0
+	}
+}
+
+// prune deletes entries: delete commutes.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// suppressedEmit shows an explained, intentional order leak.
+func suppressedEmit(m map[string]int, sink func(string)) {
+	//lint:ignore map-order -- fixture: consumer is order-insensitive by contract
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,45 @@
+// Package nondet exercises the nondeterminism rule. The package is not
+// on the central deterministic list, so it opts in with the tag below —
+// the same mechanism a new deterministic-path package would use.
+//
+//lint:deterministic
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `nondeterminism: time\.Now reads the wall clock`
+}
+
+func stall() {
+	time.Sleep(time.Millisecond) // want `nondeterminism: time\.Sleep stalls on the wall clock`
+}
+
+func ambient() <-chan time.Time {
+	return time.After(time.Second) // want `nondeterminism: time\.After starts an ambient timer`
+}
+
+func globalStream() int {
+	return rand.Intn(10) // want `nondeterminism: rand\.Intn draws from the global math/rand stream`
+}
+
+// seeded is the approved idiom: rand.New/NewSource are allowed, and
+// methods on the seeded generator draw from a private stream.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// arithmetic on durations and formatting of injected times never read
+// the clock.
+func arithmetic(d time.Duration, t time.Time) string {
+	return t.Add(d * 2).Format(time.RFC3339)
+}
+
+func suppressedClock() time.Time {
+	//lint:ignore nondeterminism -- fixture: demonstrates an explained, intentional wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,18 @@
+// Package schedbypass exercises the scheduler-bypass rule: it is not
+// on the allowlist, so naked go statements are flagged.
+package schedbypass
+
+func spawn(fn func()) {
+	go fn() // want `scheduler-bypass: naked go statement bypasses the bounded scheduler`
+}
+
+func spawnLit(done chan struct{}) {
+	go func() { // want `scheduler-bypass: naked go statement`
+		close(done)
+	}()
+}
+
+func spawnSuppressed(done chan struct{}) {
+	//lint:ignore scheduler-bypass -- fixture: lifecycle goroutine joined by the caller, not pipeline work
+	go func() { close(done) }()
+}

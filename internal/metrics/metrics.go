@@ -410,6 +410,7 @@ func (m *PipelineMetrics) RecordCountry(code string, c CountryCounters, failed b
 	}
 	m.Records.Add(c.Records)
 	m.Failures.Add(c.Failures)
+	//lint:ignore map-order -- Vec.Add is a keyed atomic increment; per-kind adds commute, and the snapshot renders kinds sorted
 	for kind, n := range failures {
 		m.FailuresByKind.Add(kind, int64(n))
 	}

@@ -283,3 +283,22 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 	run()
 	wg.Wait()
 }
+
+// Workers starts a fixed team of n goroutines running fn(w) and
+// returns a wait function that blocks until every member has returned.
+// It is the sanctioned spawn point for coordinator teams outside this
+// package: the goroutine count is explicit up front and the completion
+// barrier is part of the contract, so the spawn cannot leak past the
+// calling function. (govlint's scheduler-bypass rule forbids naked go
+// statements elsewhere; this helper and Pool are the ways through.)
+func Workers(n int, fn func(w int)) (wait func()) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	return wg.Wait
+}

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersRunsAllAndWaits(t *testing.T) {
+	const n = 8
+	var started, done atomic.Int64
+	seen := make([]atomic.Bool, n)
+	wait := Workers(n, func(w int) {
+		started.Add(1)
+		if w < 0 || w >= n {
+			t.Errorf("worker index %d out of range", w)
+		} else if seen[w].Swap(true) {
+			t.Errorf("worker index %d handed out twice", w)
+		}
+		done.Add(1)
+	})
+	wait()
+	if got := started.Load(); got != n {
+		t.Errorf("started %d workers, want %d", got, n)
+	}
+	if got := done.Load(); got != n {
+		t.Errorf("wait() returned with %d of %d workers finished", got, n)
+	}
+}
+
+func TestWorkersDrainsChannel(t *testing.T) {
+	// The coordinator shape core.Env.Run uses: a team draining a
+	// channel, then a feed-close-wait sequence.
+	const items = 100
+	idx := make(chan int)
+	var sum atomic.Int64
+	wait := Workers(4, func(int) {
+		for i := range idx {
+			sum.Add(int64(i))
+		}
+	})
+	for i := 0; i < items; i++ {
+		idx <- i
+	}
+	close(idx)
+	wait()
+	if got, want := sum.Load(), int64(items*(items-1)/2); got != want {
+		t.Errorf("drained sum = %d, want %d", got, want)
+	}
+}

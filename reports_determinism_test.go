@@ -1,0 +1,67 @@
+package govhost
+
+import (
+	"context"
+	"testing"
+)
+
+// TestReportsByteIdenticalAcrossConcurrencyShapes locks every rendered
+// experiment — not just the exports the chaos suite goldens — to the
+// seed: the same study at three different concurrency shapes must
+// produce byte-identical report text for every experiment ID. This is
+// the dynamic counterpart of govlint's map-order rule, and it covers
+// the report-only aggregation paths (e.g. the Fig. 11 HHI
+// distributions) that dataset exports never serialize. The "metrics"
+// report is excluded: its timing half measures the wall clock by
+// design.
+func TestReportsByteIdenticalAcrossConcurrencyShapes(t *testing.T) {
+	base := Config{Scale: 0.03, Seed: 11,
+		Countries:       []string{"US", "MX", "UY", "FR", "JP"},
+		MaxURLsPerCrawl: 30,
+	}
+	shapes := []struct {
+		name           string
+		country, fetch int
+	}{
+		{"serial", 1, 1},
+		{"narrow", 2, 3},
+		{"wide", 4, 8},
+	}
+	type rendered map[string]string
+	render := func(country, fetch int) rendered {
+		cfg := base
+		cfg.Concurrency = country
+		cfg.FetchConcurrency = fetch
+		s, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := rendered{}
+		for _, e := range Experiments() {
+			if e.ID == "metrics" {
+				continue
+			}
+			out[e.ID] = s.Report(e.ID)
+		}
+		out["country:UY"] = s.Report("country:UY")
+		return out
+	}
+	ref := render(shapes[0].country, shapes[0].fetch)
+	for _, shape := range shapes[1:] {
+		got := render(shape.country, shape.fetch)
+		for id, want := range ref {
+			if got[id] != want {
+				t.Errorf("report %q differs between the %s and %s concurrency shapes:\n--- %s ---\n%s\n--- %s ---\n%s",
+					id, shapes[0].name, shape.name, shapes[0].name, clip(want), shape.name, clip(got[id]))
+			}
+		}
+	}
+}
+
+// clip bounds a report body for failure output.
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}
