@@ -14,6 +14,8 @@ import (
 	"context"
 	"sync"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // benchStudy shares one moderately sized study across benchmarks.
@@ -99,6 +101,21 @@ func BenchmarkStudyPipelineCapped(b *testing.B) {
 		cfg := Config{Scale: 0.02, MaxURLsPerCrawl: 50, SkipTopsites: true}
 		if _, err := Run(context.Background(), cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisIndex(b *testing.B) {
+	// One full index build: the single dataset scan that replaces the
+	// per-figure scans. Every Fig/Table query above amortises this cost
+	// through Study's sync.Once; the per-query price is then the O(1)
+	// or O(countries) read measured by the figure benches.
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := analysis.BuildIndex(s.ds)
+		if len(idx.CountryShares()) == 0 {
+			b.Fatal("empty index")
 		}
 	}
 }

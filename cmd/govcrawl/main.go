@@ -24,6 +24,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/vantage"
 	"repro/internal/webserve"
@@ -43,8 +44,16 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "dump the crawl's metrics snapshot to stderr: 'text' or 'json'")
 		out         = flag.String("o", "", "output HAR JSON path (default stdout)")
 		dumpZone    = flag.String("dump-zone", "", "write the authoritative zones in RFC 1035 master format to this path")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the run to this path (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	env := core.NewEnv(core.Config{Seed: *seed, Scale: *scale})
 	c := env.World.Country(*country)

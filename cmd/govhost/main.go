@@ -18,6 +18,7 @@ import (
 	"time"
 
 	govhost "repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -43,8 +44,17 @@ func main() {
 		dumpJSONL   = flag.String("dump-jsonl", "", "write the annotated dataset as JSON lines to this path")
 		dumpCSV     = flag.String("dump-csv", "", "write the annotated dataset as CSV to this path")
 		fromJSONL   = flag.String("from-jsonl", "", "re-analyse a saved dataset instead of running the pipeline")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the run to this path (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	)
 	flag.Parse()
+
+	stopProf, perr := prof.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "govhost:", perr)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *exps == "list" {
 		for _, e := range govhost.Experiments() {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cluster"
+	"repro/internal/dataset"
 	"repro/internal/fetch"
 	"repro/internal/probing"
 	"repro/internal/report"
@@ -22,7 +23,7 @@ import (
 var regionOrder = []world.Region{world.SSA, world.ECA, world.NA, world.LAC, world.MENA, world.EAP, world.SA}
 
 func (s *Study) reportFig1() string {
-	entries := analysis.MajorityMap(s.ds)
+	entries := s.index().MajorityMap()
 	var brown, purple []string
 	for _, e := range entries {
 		if e.ThirdPty {
@@ -92,12 +93,21 @@ func (s *Study) reportTable3() string {
 	return b.String()
 }
 
-func (s *Study) reportTable4() string {
+// geoValidationStats folds the dataset's verdicts into Table 4's
+// unique-address accounting. A unicast verdict is a property of the
+// address alone — the prober answers every vantage from one cached
+// probe sequence — so an address serving several governments counts
+// once, not once per country. Anycast verification is per vantage, so
+// those dedupe on (country, address).
+func geoValidationStats(ds *dataset.Dataset) probing.Stats {
 	var st probing.Stats
 	seen := map[string]bool{}
-	for i := range s.ds.Records {
-		r := &s.ds.Records[i]
-		key := r.IP.String() + "/" + r.Country
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		key := r.IP.String()
+		if r.Anycast {
+			key = r.Country + "/" + key
+		}
 		if seen[key] {
 			continue
 		}
@@ -106,6 +116,11 @@ func (s *Study) reportTable4() string {
 			Country: r.ServeCountry, Method: probing.Method(r.GeoMethod)}
 		st.Observe(v)
 	}
+	return st
+}
+
+func (s *Study) reportTable4() string {
+	st := geoValidationStats(s.ds)
 	uniAP, uniMG, uniUR, anyAP, anyUR := st.Fractions()
 	var b strings.Builder
 	b.WriteString(report.PaperVsMeasured("unicast validated by active probing", "0.41", report.Frac(uniAP)) + "\n")
@@ -150,7 +165,7 @@ func (s *Study) reportFig3() string {
 }
 
 func (s *Study) reportFig4() string {
-	regional := analysis.RegionalShares(s.ds)
+	regional := s.index().RegionalShares()
 	paperURLs := map[world.Region]string{
 		world.SSA: "0.01/0.46/0.39/0.14", world.ECA: "0.24/0.46/0.28/0.02",
 		world.NA: "0.25/0.17/0.58/0.00", world.LAC: "0.41/0.25/0.30/0.03",
@@ -249,7 +264,7 @@ func (s *Study) reportFig7() string {
 }
 
 func (s *Study) reportFig8() string {
-	regional := analysis.RegionalDomesticIntl(s.ds)
+	regional := s.index().RegionalDomesticIntl()
 	paperReg := map[world.Region]string{
 		world.SSA: "0.45", world.MENA: "0.52", world.LAC: "0.66", world.ECA: "0.71",
 		world.EAP: "0.87", world.SA: "0.88", world.NA: "0.91",
@@ -295,7 +310,7 @@ func (s *Study) reportFig9() string {
 			fmt.Sprintf("%s URLs served from %s", bi.src, bi.dst), bi.paper, report.Pct(share)) + "\n")
 	}
 	b.WriteString(report.PaperVsMeasured("foreign-served URLs on NA/W-Europe servers", "57%",
-		report.Pct(analysis.AbroadInNAWE(s.ds, s.env.World))) + "\n")
+		report.Pct(s.index().AbroadInNAWE())) + "\n")
 	frac, total := s.GDPRCompliance()
 	b.WriteString(report.PaperVsMeasured("EU URLs served inside the EU (GDPR)", "98.3%",
 		fmt.Sprintf("%s (n=%d)", report.Pct(frac), total)) + "\n")
@@ -312,7 +327,7 @@ func (s *Study) reportFig9() string {
 
 	// The circular Sankey of Fig. 9b as a region-to-region matrix:
 	// each row shows where a region's cross-border URLs land.
-	matrix := analysis.RegionFlowMatrix(s.ds, s.env.World, analysis.FlowLocation)
+	matrix := s.index().RegionFlowMatrix(s.env.World, analysis.FlowLocation)
 	t := &report.Table{Header: append([]string{"src\\dst"}, regionNames()...)}
 	for _, src := range regionOrder {
 		row := []string{string(src)}
@@ -387,7 +402,7 @@ func (s *Study) reportFig10() string {
 }
 
 func (s *Study) reportFig11() string {
-	divs := analysis.Diversify(s.ds)
+	divs := s.index().Diversify()
 	urlGroups, byteGroups := analysis.HHIByGroup(divs)
 	var b strings.Builder
 	t := &report.Table{Header: []string{"Dominant", "n", "HHI URLs (med)", "HHI Bytes (med)"}}
@@ -570,7 +585,7 @@ func (s *Study) CountryReport(code string) string {
 	if c == nil {
 		return fmt.Sprintf("unknown country %q\n", code)
 	}
-	shares, ok := analysis.CountryShares(s.ds)[code]
+	shares, ok := s.index().CountryShares()[code]
 	if !ok {
 		return fmt.Sprintf("no records for %s in this run\n", code)
 	}
@@ -615,7 +630,7 @@ func (s *Study) CountryReport(code string) string {
 		fmt.Fprintf(&b, "valid HTTPS on %s of hostnames\n", report.Pct(httpsValid/hosts))
 	}
 
-	flows := analysis.CrossBorderFlows(s.ds, analysis.FlowLocation)
+	flows := s.index().CrossBorderFlows(analysis.FlowLocation)
 	var mine []analysis.Flow
 	for _, f := range flows {
 		if f.Src == code {
@@ -635,7 +650,7 @@ func (s *Study) CountryReport(code string) string {
 		b.WriteString("no foreign-served URLs observed\n")
 	}
 
-	for _, d := range analysis.Diversify(s.ds) {
+	for _, d := range s.index().Diversify() {
 		if d.Country != code {
 			continue
 		}

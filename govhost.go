@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -130,6 +131,19 @@ type Study struct {
 	cfg Config
 	env *core.Env
 	ds  *dataset.Dataset
+
+	// idx is the one-pass analysis index, built lazily on the first
+	// figure/table query and shared by all of them: a report renders a
+	// dozen figures over one study, and without the index each one
+	// rescanned every record.
+	idxOnce sync.Once
+	idx     *analysis.Index
+}
+
+// index returns the memoized analysis index.
+func (s *Study) index() *analysis.Index {
+	s.idxOnce.Do(func() { s.idx = analysis.BuildIndex(s.ds) })
+	return s.idx
 }
 
 // Run executes the full pipeline: environment materialisation,
@@ -180,13 +194,13 @@ func splitOf(s analysis.SplitShares) Split {
 
 // GlobalShares returns Fig. 2.
 func (s *Study) GlobalShares() Shares {
-	return sharesOf(analysis.GlobalShares(s.ds))
+	return sharesOf(s.index().GlobalShares())
 }
 
 // RegionalShares returns Fig. 4, keyed by World Bank region code.
 func (s *Study) RegionalShares() map[string]Shares {
 	out := map[string]Shares{}
-	for reg, sh := range analysis.RegionalShares(s.ds) {
+	for reg, sh := range s.index().RegionalShares() {
 		out[string(reg)] = sharesOf(sh)
 	}
 	return out
@@ -196,7 +210,7 @@ func (s *Study) RegionalShares() map[string]Shares {
 // input).
 func (s *Study) CountryShares() map[string]Shares {
 	out := map[string]Shares{}
-	for code, sh := range analysis.CountryShares(s.ds) {
+	for code, sh := range s.index().CountryShares() {
 		out[code] = sharesOf(sh)
 	}
 	return out
@@ -206,7 +220,7 @@ func (s *Study) CountryShares() map[string]Shares {
 // majority of its government bytes come from third parties.
 func (s *Study) MajorityThirdParty() map[string]bool {
 	out := map[string]bool{}
-	for _, e := range analysis.MajorityMap(s.ds) {
+	for _, e := range s.index().MajorityMap() {
 		out[e.Country] = e.ThirdPty
 	}
 	return out
@@ -214,13 +228,13 @@ func (s *Study) MajorityThirdParty() map[string]bool {
 
 // DomesticSplit returns Fig. 6.
 func (s *Study) DomesticSplit() Split {
-	return splitOf(analysis.DomesticIntl(s.ds))
+	return splitOf(s.index().DomesticIntl())
 }
 
 // RegionalDomesticSplit returns Fig. 8, keyed by region code.
 func (s *Study) RegionalDomesticSplit() map[string]Split {
 	out := map[string]Split{}
-	for reg, sp := range analysis.RegionalDomesticIntl(s.ds) {
+	for reg, sp := range s.index().RegionalDomesticIntl() {
 		out[string(reg)] = splitOf(sp)
 	}
 	return out
@@ -250,7 +264,7 @@ func (s *Study) CrossBorderFlows(kind FlowKind) []Flow {
 		k = analysis.FlowLocation
 	}
 	var out []Flow
-	for _, f := range analysis.CrossBorderFlows(s.ds, k) {
+	for _, f := range s.index().CrossBorderFlows(k) {
 		out = append(out, Flow{Src: f.Src, Dst: f.Dst, URLs: f.URLs, Share: f.Share})
 	}
 	return out
@@ -260,7 +274,7 @@ func (s *Study) CrossBorderFlows(kind FlowKind) []Flow {
 // cross-border dependencies that stay inside the region.
 func (s *Study) InRegionDependency() map[string]float64 {
 	out := map[string]float64{}
-	for reg, v := range analysis.InRegionShare(s.ds, s.env.World) {
+	for reg, v := range s.index().InRegionShare(s.env.World) {
 		out[string(reg)] = v
 	}
 	return out
@@ -269,7 +283,7 @@ func (s *Study) InRegionDependency() map[string]float64 {
 // GDPRCompliance returns the fraction of EU government URLs served
 // from inside the EU, and the number of EU URLs observed.
 func (s *Study) GDPRCompliance() (fraction float64, totalURLs int) {
-	ok, total := analysis.GDPRCompliance(s.ds, s.env.World)
+	ok, total := s.index().GDPRCompliance(s.env.World)
 	if total == 0 {
 		return 0, 0
 	}
@@ -286,7 +300,7 @@ type ProviderFootprint struct {
 // GlobalProviders returns Fig. 10 ranked descending.
 func (s *Study) GlobalProviders() []ProviderFootprint {
 	var out []ProviderFootprint
-	for _, p := range analysis.GlobalProviderFootprints(s.ds) {
+	for _, p := range s.index().GlobalProviderFootprints() {
 		out = append(out, ProviderFootprint{ASN: p.ASN, Org: p.Org, Countries: p.Countries})
 	}
 	return out
@@ -304,7 +318,7 @@ type Diversification struct {
 // Diversification returns per-country provider-concentration indexes.
 func (s *Study) Diversification() []Diversification {
 	var out []Diversification
-	for _, d := range analysis.Diversify(s.ds) {
+	for _, d := range s.index().Diversify() {
 		out = append(out, Diversification{
 			Country: d.Country, HHIURLs: d.HHIURLs, HHIBytes: d.HHIBytes,
 			Dominant: d.DominantCat, TopNetShare: d.TopNetShare,
@@ -336,7 +350,7 @@ type Comparison struct {
 
 // CompareTopsites returns the Appendix D comparison.
 func (s *Study) CompareTopsites() Comparison {
-	c := analysis.CompareTopsites(s.ds)
+	c := s.index().CompareTopsites()
 	return Comparison{
 		Gov:           sharesOf(c.Gov),
 		Topsites:      sharesOf(c.Topsites),

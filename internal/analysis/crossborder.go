@@ -183,11 +183,7 @@ func RegionFlowMatrix(ds *dataset.Dataset, w *world.Model, kind FlowKind) map[wo
 // AbroadInNAWE returns the share of foreign-served government URLs
 // whose servers sit in North America or Western Europe (§6.3: 57 %).
 func AbroadInNAWE(ds *dataset.Dataset, w *world.Model) float64 {
-	western := map[string]bool{
-		"US": true, "CA": true, "DE": true, "FR": true, "GB": true, "NL": true,
-		"IE": true, "BE": true, "CH": true, "AT": true, "LU": true, "ES": true,
-		"IT": true, "PT": true, "DK": true, "NO": true, "SE": true, "FI": true,
-	}
+	western := westernNAWE
 	total, nawe := 0, 0
 	for i := range ds.Records {
 		r := &ds.Records[i]

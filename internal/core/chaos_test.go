@@ -428,6 +428,27 @@ func TestMetricsSnapshotInvariants(t *testing.T) {
 				profile, d.Cache.NegativeEntries, d.Cache.NegativeHits, d.Cache.Misses, d.Cache.Hits)
 		}
 
+		// Geolocation caches: same partition identity per cache, and a
+		// run that produced records must have geolocated something —
+		// the cached path is exercised, not bypassed.
+		for _, gc := range []struct {
+			name string
+			c    metrics.CacheCounters
+		}{{"geo.unicast", d.Geo.Unicast}, {"geo.anycast", d.Geo.Anycast}} {
+			if gc.c.Hits+gc.c.Misses != gc.c.Lookups {
+				t.Errorf("%s: %s hits %d + misses %d != lookups %d",
+					profile, gc.name, gc.c.Hits, gc.c.Misses, gc.c.Lookups)
+			}
+			if gc.c.NegativeEntries > gc.c.Misses || gc.c.NegativeHits > gc.c.Hits {
+				t.Errorf("%s: %s negative entries/hits %d/%d exceed misses/hits %d/%d",
+					profile, gc.name, gc.c.NegativeEntries, gc.c.NegativeHits, gc.c.Misses, gc.c.Hits)
+			}
+		}
+		if len(ds.Records) > 0 && d.Geo.Unicast.Lookups+d.Geo.Anycast.Lookups == 0 {
+			t.Errorf("%s: %d records produced but the geolocation caches saw no lookups",
+				profile, len(ds.Records))
+		}
+
 		// Fetch: each admitted frontier URL is fetched once, plus one
 		// attempt per counted retry; the retry ledger sums by kind.
 		if d.Fetch.Attempts != d.Crawl.FrontierAdmitted+d.Fetch.Retries {

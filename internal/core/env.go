@@ -179,6 +179,25 @@ func (env *Env) cacheMetrics() *metrics.CacheMetrics {
 	return &env.metrics.Cache
 }
 
+func (env *Env) geoMetrics() *metrics.GeoMetrics {
+	if env.metrics == nil {
+		return nil
+	}
+	return &env.metrics.Geo
+}
+
+// wireProberMetrics points the prober's cache ledgers at the registry's
+// geo slice; a nil registry leaves them detached (nil-safe recording).
+func (env *Env) wireProberMetrics() {
+	if env.Prober == nil {
+		return
+	}
+	if gm := env.geoMetrics(); gm != nil {
+		env.Prober.UnicastMetrics = &gm.Unicast
+		env.Prober.AnycastMetrics = &gm.Anycast
+	}
+}
+
 func (env *Env) fetchMetrics() *metrics.FetchMetrics {
 	if env.metrics == nil {
 		return nil
@@ -234,6 +253,7 @@ func NewEnv(cfg Config) *Env {
 	if !cfg.DisableMetrics {
 		env.metrics = metrics.New()
 	}
+	env.wireProberMetrics()
 	env.resolutions = newRescache(env.cacheMetrics())
 	env.resolveHost = env.zoneResolve
 	return env

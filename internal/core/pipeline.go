@@ -45,6 +45,7 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	env.Config = cfg
 	if env.metrics == nil && !cfg.DisableMetrics {
 		env.metrics = metrics.New()
+		env.wireProberMetrics()
 	}
 	if env.resolutions == nil {
 		env.resolutions = newRescache(env.cacheMetrics())

@@ -38,6 +38,8 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/govclass": true,
 	"repro/internal/har":      true,
 	"repro/internal/geo":      true,
+	"repro/internal/probing":  true, // verdicts and the verdict caches feed golden Table 4
+	"repro/internal/netsim":   true, // ping geometry memo must preserve bit-identical RTTs
 }
 
 // goAllowedPkgs may start goroutines directly: the scheduler itself,

@@ -199,6 +199,7 @@ const maxDepthTrack = 16
 type Registry struct {
 	Sched    SchedMetrics
 	Cache    CacheMetrics
+	Geo      GeoMetrics
 	Fetch    FetchMetrics
 	Faults   FaultMetrics
 	Crawl    CrawlMetrics
@@ -243,6 +244,18 @@ type CacheMetrics struct {
 
 	// Runtime.
 	Coalesced Counter // hits that waited on an in-flight resolution
+}
+
+// GeoMetrics instruments the two geolocation verdict caches of the
+// probing package. Each half follows the CacheMetrics split: the
+// address multiset geolocated during a run is a pure function of the
+// seed, so lookups, hits, misses and the negative (UR/EX verdict)
+// counts are deterministic; coalesce counts are interleaving
+// artifacts. Unicast keys on the address alone (verdicts are
+// vantage-independent); anycast verification keys on (vantage, addr).
+type GeoMetrics struct {
+	Unicast CacheMetrics
+	Anycast CacheMetrics
 }
 
 // FetchMetrics instruments the retrying fetch stack. Attempt and retry

@@ -24,6 +24,7 @@ type Snapshot struct {
 type Deterministic struct {
 	Sched    SchedCounters    `json:"sched"`
 	Cache    CacheCounters    `json:"cache"`
+	Geo      GeoCounters      `json:"geo"`
 	Fetch    FetchCounters    `json:"fetch"`
 	Faults   FaultCounters    `json:"faults"`
 	Crawl    CrawlCounters    `json:"crawl"`
@@ -43,6 +44,13 @@ type CacheCounters struct {
 	Misses          int64 `json:"misses"`
 	NegativeEntries int64 `json:"negative_entries"`
 	NegativeHits    int64 `json:"negative_hits"`
+}
+
+// GeoCounters is the deterministic slice of the two geolocation
+// verdict caches (probing's unicast and anycast single-flight maps).
+type GeoCounters struct {
+	Unicast CacheCounters `json:"unicast"`
+	Anycast CacheCounters `json:"anycast"`
 }
 
 // FetchCounters is the deterministic fetch/retry slice.
@@ -81,6 +89,7 @@ type PipelineCounters struct {
 type Runtime struct {
 	Sched     SchedRuntime                 `json:"sched"`
 	Cache     CacheRuntime                 `json:"cache"`
+	Geo       GeoRuntime                   `json:"geo"`
 	Fetch     FetchRuntime                 `json:"fetch"`
 	Stages    map[string]HistogramSnapshot `json:"stages,omitempty"`
 	Countries map[string]CountryTimings    `json:"countries,omitempty"`
@@ -97,6 +106,13 @@ type SchedRuntime struct {
 // CacheRuntime is the interleaving-dependent cache slice.
 type CacheRuntime struct {
 	Coalesced int64 `json:"coalesced"`
+}
+
+// GeoRuntime is the interleaving-dependent slice of the geolocation
+// caches.
+type GeoRuntime struct {
+	Unicast CacheRuntime `json:"unicast"`
+	Anycast CacheRuntime `json:"anycast"`
 }
 
 // FetchRuntime is the budget-race slice.
@@ -135,6 +151,19 @@ func (r *Registry) Snapshot() Snapshot {
 		NegativeEntries: r.Cache.NegativeEntries.Load(),
 		NegativeHits:    r.Cache.NegativeHits.Load(),
 	}
+	detCache := func(m *CacheMetrics) CacheCounters {
+		return CacheCounters{
+			Lookups:         m.Lookups.Load(),
+			Hits:            m.Hits.Load(),
+			Misses:          m.Misses.Load(),
+			NegativeEntries: m.NegativeEntries.Load(),
+			NegativeHits:    m.NegativeHits.Load(),
+		}
+	}
+	s.Deterministic.Geo = GeoCounters{
+		Unicast: detCache(&r.Geo.Unicast),
+		Anycast: detCache(&r.Geo.Anycast),
+	}
 	s.Deterministic.Fetch = FetchCounters{
 		Attempts:      r.Fetch.Attempts.Load(),
 		Retries:       r.Fetch.Retries.Load(),
@@ -165,6 +194,10 @@ func (r *Registry) Snapshot() Snapshot {
 		QueueWait:            r.Sched.QueueWait.snapshot(),
 	}
 	s.Runtime.Cache = CacheRuntime{Coalesced: r.Cache.Coalesced.Load()}
+	s.Runtime.Geo = GeoRuntime{
+		Unicast: CacheRuntime{Coalesced: r.Geo.Unicast.Coalesced.Load()},
+		Anycast: CacheRuntime{Coalesced: r.Geo.Anycast.Coalesced.Load()},
+	}
 	s.Runtime.Fetch = FetchRuntime{BudgetDenied: r.Fetch.BudgetDenied.Load()}
 	s.Runtime.Stages = r.Pipeline.stageSnapshots()
 	s.Runtime.Countries = r.Pipeline.timingSnapshots()
@@ -205,6 +238,15 @@ func (s Snapshot) Text() string {
 	line("cache.misses", d.Cache.Misses)
 	line("cache.negative_entries", d.Cache.NegativeEntries)
 	line("cache.negative_hits", d.Cache.NegativeHits)
+	geoDet := func(prefix string, c CacheCounters) {
+		line(prefix+".lookups", c.Lookups)
+		line(prefix+".hits", c.Hits)
+		line(prefix+".misses", c.Misses)
+		line(prefix+".negative_entries", c.NegativeEntries)
+		line(prefix+".negative_hits", c.NegativeHits)
+	}
+	geoDet("geo.unicast", d.Geo.Unicast)
+	geoDet("geo.anycast", d.Geo.Anycast)
 	line("fetch.attempts", d.Fetch.Attempts)
 	line("fetch.retries", d.Fetch.Retries)
 	vec("fetch.retries", d.Fetch.RetriesByKind)
@@ -240,6 +282,8 @@ func (s Snapshot) Text() string {
 	}
 	hist("sched.queue_wait", rt.Sched.QueueWait)
 	line("cache.coalesced", rt.Cache.Coalesced)
+	line("geo.unicast.coalesced", rt.Geo.Unicast.Coalesced)
+	line("geo.anycast.coalesced", rt.Geo.Anycast.Coalesced)
 	line("fetch.budget_denied", rt.Fetch.BudgetDenied)
 	for _, stage := range sortedKeys(rt.Stages) {
 		hist("stage."+stage, rt.Stages[stage])

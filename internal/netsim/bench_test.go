@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// BenchmarkPingGeometry measures the per-ping cost of the latency
+// model over a probing-shaped workload: a working set of (vantage,
+// addr) pairs, each pinged with the §3.5 attempt fan (15 attempts), as
+// minFromProbes does.
+func BenchmarkPingGeometry(b *testing.B) {
+	w := world.New()
+	n := Build(w, 42)
+	r := rng.New(9, "bench-ping")
+	vantages := []string{"US", "DE", "BR", "JP", "NG", "FR", "IN", "UY"}
+	var addrs []netip.Addr
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, n.LocalHostFor(vantages[i%len(vantages)], r).Addr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vantage := vantages[i%len(vantages)]
+		addr := addrs[i%len(addrs)]
+		if _, ok := n.Ping(vantage, addr, i%15); !ok {
+			// Some hosts legitimately drop ICMP; the miss path is part
+			// of the workload.
+			continue
+		}
+	}
+}
+
+// BenchmarkMinPingFrom measures the min-of-k fast path the probing
+// package leans on: 15 attempts folded into one minimum per call.
+func BenchmarkMinPingFrom(b *testing.B) {
+	w := world.New()
+	n := Build(w, 42)
+	r := rng.New(9, "bench-ping")
+	var addrs []netip.Addr
+	for i := 0; i < 32; i++ {
+		h := n.EgressHostFor("DE", r)
+		addrs = append(addrs, h.Addr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := n.MinPingFrom("US", addrs[i%len(addrs)], 15, 0); !ok {
+			b.Fatal("egress hosts always answer ICMP")
+		}
+	}
+}

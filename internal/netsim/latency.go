@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"net/netip"
+	"sync"
 
 	"repro/internal/world"
 )
@@ -17,29 +18,17 @@ import (
 // converted through the fibre model of the world package, plus a
 // deterministic last-mile component and per-attempt jitter, so that
 // min-of-three measurements are reproducible without shared state.
+//
+// Everything except the queue-jitter term is a pure function of
+// (vantage, addr) — host geometry, anycast-site selection, the
+// DistanceKM trig and the stable FNV hash — so it is computed once per
+// pair and memoized; each attempt folds only its jitter draw on top.
 func (n *Net) Ping(vantage string, addr netip.Addr, attempt int) (float64, bool) {
-	h := n.Host(addr)
-	if h == nil || !h.ICMP {
+	pb, ok := n.pingBaseFor(vantage, addr)
+	if !ok || !pb.icmp {
 		return 0, false
 	}
-	v := n.World.Country(vantage)
-	if v == nil {
-		return 0, false
-	}
-	var lat, lon float64
-	if h.Anycast {
-		site := n.World.Country(n.AnycastSiteFor(h.Provider.Key, vantage))
-		lat, lon = site.Lat, site.Lon
-	} else {
-		lat, lon = h.Lat, h.Lon
-	}
-	dist := world.DistanceKM(v.Lat, v.Lon, lat, lon)
-	base := world.RTTForKM(dist)
-	j := jitter(vantage, addr, attempt)
-	// Last-mile and serialization delay: 0.3–1.3 ms, plus up to 2 ms of
-	// queueing jitter that min-of-three mostly filters out.
-	rtt := math.Max(base, 0.15) + 0.3 + j.lastMile + j.queue
-	return rtt, true
+	return pb.base + queueJitter(pb.stable, attempt), true
 }
 
 // MinPing returns the minimum RTT over k attempts (§3.5 sends three
@@ -52,24 +41,131 @@ func (n *Net) MinPing(vantage string, addr netip.Addr, k int) (float64, bool) {
 // bases draw distinct per-attempt jitter, which is how a probe
 // sequence (e.g. vantage validation's five probes) gets independent
 // yet reproducible measurements instead of five copies of one.
+//
+// This is the probing hot path: the geometry base is fetched once and
+// only the per-attempt jitter varies inside the loop, so a 15-ping
+// probe fan costs one cache read plus 15 integer folds.
 func (n *Net) MinPingFrom(vantage string, addr netip.Addr, k, base int) (float64, bool) {
-	best := math.Inf(1)
-	ok := false
-	for i := base; i < base+k; i++ {
-		if rtt, resp := n.Ping(vantage, addr, i); resp {
-			ok = true
-			if rtt < best {
-				best = rtt
-			}
-		}
-	}
-	if !ok {
+	if k <= 0 {
 		return 0, false
+	}
+	pb, ok := n.pingBaseFor(vantage, addr)
+	if !ok || !pb.icmp {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for i := base; i < base+k; i++ {
+		if rtt := pb.base + queueJitter(pb.stable, i); rtt < best {
+			best = rtt
+		}
 	}
 	return best, true
 }
 
+// pingBase is the attempt-independent half of a Ping from one vantage
+// to one address. Everything here is immutable once the target host
+// exists: Host fields never change after insertion and anycast
+// presence is fixed at Build time.
+type pingBase struct {
+	// base is max(RTTForKM(dist), 0.15) + 0.3 + lastMile, accumulated
+	// in exactly that order — Go evaluates float addition left to
+	// right, and preserving the order keeps cached RTTs bit-identical
+	// to the formerly inline computation.
+	base float64
+	// stable is the FNV-1a state after hashing vantage+addr; the
+	// per-attempt queue jitter continues the hash from this state.
+	stable uint64
+	icmp   bool
+}
+
+// pingShards spreads the memo across independently locked maps so the
+// many concurrent probe workers of a study don't serialize on one
+// mutex.
+const pingShards = 32
+
+// pingCache is the sharded (vantage, addr) → pingBase memo.
+type pingCache struct {
+	shards [pingShards]pingShard
+}
+
+type pingShard struct {
+	mu sync.RWMutex
+	m  map[pingKey]pingBase
+}
+
+type pingKey struct {
+	vantage string
+	addr    netip.Addr
+}
+
+func (pc *pingCache) shard(key pingKey) *pingShard {
+	b := key.addr.As4()
+	h := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	h ^= uint32(len(key.vantage))
+	if len(key.vantage) >= 2 {
+		h ^= uint32(key.vantage[0])<<8 | uint32(key.vantage[1])
+	}
+	return &pc.shards[h%pingShards]
+}
+
+func (pc *pingCache) load(key pingKey) (pingBase, bool) {
+	s := pc.shard(key)
+	s.mu.RLock()
+	pb, ok := s.m[key]
+	s.mu.RUnlock()
+	return pb, ok
+}
+
+func (pc *pingCache) store(key pingKey, pb pingBase) {
+	s := pc.shard(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[pingKey]pingBase)
+	}
+	s.m[key] = pb
+	s.mu.Unlock()
+}
+
+// pingBaseFor returns the memoized geometry for (vantage, addr),
+// computing and caching it on first use. An unknown address or vantage
+// is not cached negatively: hosts are created lazily (VPN egresses,
+// pooled endpoints), so "no host yet" must stay re-checkable.
+func (n *Net) pingBaseFor(vantage string, addr netip.Addr) (pingBase, bool) {
+	key := pingKey{vantage: vantage, addr: addr}
+	if pb, ok := n.pingBases.load(key); ok {
+		return pb, true
+	}
+	h := n.Host(addr)
+	if h == nil {
+		return pingBase{}, false
+	}
+	v := n.World.Country(vantage)
+	if v == nil {
+		return pingBase{}, false
+	}
+	pb := pingBase{icmp: h.ICMP}
+	if h.ICMP {
+		var lat, lon float64
+		if h.Anycast {
+			site := n.World.Country(n.AnycastSiteFor(h.Provider.Key, vantage))
+			lat, lon = site.Lat, site.Lon
+		} else {
+			lat, lon = h.Lat, h.Lon
+		}
+		dist := world.DistanceKM(v.Lat, v.Lon, lat, lon)
+		base := world.RTTForKM(dist)
+		j := jitter(vantage, addr, 0)
+		// Last-mile and serialization delay: 0.3–1.3 ms; the up-to-2 ms
+		// queueing term is folded per attempt by the callers.
+		pb.base = math.Max(base, 0.15) + 0.3 + j.lastMile
+		pb.stable = j.stable
+	}
+	n.pingBases.store(key, pb)
+	return pb, true
+}
+
 type pingJitter struct {
+	stable   uint64  // FNV-1a state over (vantage, addr)
 	lastMile float64 // 0..1 ms, stable per (vantage, addr)
 	queue    float64 // 0..2 ms, varies per attempt
 }
@@ -80,12 +176,26 @@ func jitter(vantage string, addr netip.Addr, attempt int) pingJitter {
 	b := addr.As4()
 	h.Write(b[:])
 	stable := h.Sum64()
+	return pingJitter{
+		stable:   stable,
+		lastMile: float64(stable%1000) / 1000.0,
+		queue:    queueJitter(stable, attempt),
+	}
+}
+
+// fnvPrime64 is the FNV-1a 64-bit prime, matching hash/fnv.
+const fnvPrime64 = 1099511628211
+
+// queueJitter folds the four little-endian attempt bytes onto the
+// stable hash state, exactly as hash/fnv's Write would, and maps the
+// result to 0..2 ms. Continuing the incremental hash keeps every
+// per-attempt draw bit-identical to the pre-memoization code.
+func queueJitter(stable uint64, attempt int) float64 {
 	var ab [4]byte
 	binary.LittleEndian.PutUint32(ab[:], uint32(attempt))
-	h.Write(ab[:])
-	per := h.Sum64()
-	return pingJitter{
-		lastMile: float64(stable%1000) / 1000.0,
-		queue:    float64(per%2000) / 1000.0,
+	per := stable
+	for _, c := range ab {
+		per = (per ^ uint64(c)) * fnvPrime64
 	}
+	return float64(per%2000) / 1000.0
 }

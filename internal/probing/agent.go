@@ -118,6 +118,7 @@ func (a *Agent) serve(conn *net.UDPConn) {
 			defer a.wg.Done()
 			// Delay by the scaled simulated RTT so the probe measures
 			// it off the wire.
+			//lint:ignore nondeterminism -- wire pacing for the live-socket demo agent; RTT values come from netsim and no dataset bytes derive from this sleep
 			time.Sleep(time.Duration(rtt*1000/float64(a.scale())) * time.Microsecond)
 			resp := make([]byte, agentRespLen)
 			resp[0], resp[1] = 'G', 'R'
@@ -150,6 +151,7 @@ func ProbeOnce(ctx context.Context, agentAddr, vantageCC string, target netip.Ad
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	} else {
+		//lint:ignore nondeterminism -- socket deadline fallback for the live-socket probe path; timeouts surface as ErrNoReply, never as dataset bytes
 		conn.SetDeadline(time.Now().Add(3 * time.Second))
 	}
 	req := make([]byte, agentReqLen)

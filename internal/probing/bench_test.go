@@ -1,0 +1,65 @@
+package probing
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// benchAddrs picks a stable working set of addresses: hosts the
+// annotate path would geolocate, drawn from several countries so the
+// cache sees a realistic key mix.
+func benchAddrs(tw *testWorld, anycast bool, n int) []netip.Addr {
+	r := rng.New(7, "bench-addrs")
+	countries := []string{"US", "DE", "BR", "JP", "NG", "FR", "IN", "UY"}
+	var anycastProviders []*netsim.Provider
+	for _, p := range tw.net.Providers {
+		if p.Anycast {
+			anycastProviders = append(anycastProviders, p)
+		}
+	}
+	var out []netip.Addr
+	for len(out) < n {
+		c := countries[len(out)%len(countries)]
+		if anycast {
+			p := anycastProviders[len(out)%len(anycastProviders)]
+			out = append(out, tw.net.ProviderHostFor(p, c, r).Addr)
+		} else {
+			out = append(out, tw.net.LocalHostFor(c, r).Addr)
+		}
+	}
+	return out
+}
+
+// BenchmarkGeolocateUnicast measures the steady-state unicast path: a
+// working set of addresses geolocated repeatedly, as the annotate stage
+// does when many URLs share hosting. First calls probe; the rest must
+// be cache reads.
+func BenchmarkGeolocateUnicast(b *testing.B) {
+	tw := setup(b)
+	addrs := benchAddrs(tw, false, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := tw.prober.GeolocateUnicast(addrs[i%len(addrs)])
+		if v.Method == "" {
+			b.Fatal("empty verdict")
+		}
+	}
+}
+
+// BenchmarkGeolocateAnycast measures repeated anycast verification from
+// a fixed vantage — the path every record behind a CDN address pays.
+func BenchmarkGeolocateAnycast(b *testing.B) {
+	tw := setup(b)
+	addrs := benchAddrs(tw, true, 32)
+	vantage := tw.w.MustCountry("US")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := tw.prober.GeolocateAnycast(vantage, addrs[i%len(addrs)])
+		if v.Method == "" {
+			b.Fatal("empty verdict")
+		}
+	}
+}

@@ -9,10 +9,12 @@ package probing
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dnssim"
 	"repro/internal/geo/ipinfo"
 	"repro/internal/geo/manycast"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/world"
 )
@@ -52,14 +54,43 @@ type Prober struct {
 	// single global threshold", §3.5).
 	GlobalThresholdMS float64
 
+	// UnicastMetrics and AnycastMetrics, when set, receive each
+	// cache's accounting. Lookup/hit/miss/negative counts are
+	// deterministic (the address multiset is a pure function of the
+	// seed); only coalesce counts depend on worker interleaving.
+	UnicastMetrics *metrics.CacheMetrics
+	AnycastMetrics *metrics.CacheMetrics
+
+	// Both caches are single-flight: the first goroutine to miss runs
+	// the probe sequence inside the entry's once while concurrent
+	// callers for the same key block on it instead of duplicating the
+	// measurement. Unicast verdicts are vantage-independent; anycast
+	// verification depends on the vantage, so that cache keys on both.
 	mu      sync.Mutex
-	unicast map[netip.Addr]Verdict // cache: unicast verdicts are vantage-independent
+	unicast map[netip.Addr]*verdictEntry
+	anycast map[anycastKey]*verdictEntry
+}
+
+// verdictEntry is one cache key's outcome; once guarantees a single
+// probe sequence per key across all workers. done flips after the
+// verdict lands, so a later lookup can tell a settled entry from one
+// still in flight (a coalesce).
+type verdictEntry struct {
+	once sync.Once
+	done atomic.Bool
+	v    Verdict
+}
+
+type anycastKey struct {
+	vantage string
+	addr    netip.Addr
 }
 
 // New returns a Prober.
 func New(n *netsim.Net, w *world.Model, z *dnssim.Zones, db *ipinfo.DB, mc *manycast.Snapshot) *Prober {
 	return &Prober{Net: n, World: w, Zones: z, IPInfo: db, Anycast: mc,
-		unicast: make(map[netip.Addr]Verdict)}
+		unicast: make(map[netip.Addr]*verdictEntry),
+		anycast: make(map[anycastKey]*verdictEntry)}
 }
 
 // Threshold returns the per-country latency threshold: the intercity
@@ -90,29 +121,57 @@ func (p *Prober) thresholdFor(c *world.Country) float64 {
 }
 
 // minFromProbes returns the minimum RTT over all probes in the
-// country, and whether anything answered.
+// country, and whether anything answered. The attempt fan 0..14 is
+// exactly what the former nested probe×ping loop produced, so the
+// netsim fast path (one geometry read, fifteen jitter folds) returns
+// bit-identical minima. Responsiveness is all-or-nothing per
+// (vantage, addr) in the simulation, matching the old early return.
 func (p *Prober) minFromProbes(country string, addr netip.Addr) (float64, bool) {
-	best := -1.0
-	for probe := 0; probe < probeCount; probe++ {
-		for ping := 0; ping < pingsPerProbe; ping++ {
-			rtt, ok := p.Net.Ping(country, addr, probe*pingsPerProbe+ping)
-			if !ok {
-				// Unresponsive targets answer no probe at all.
-				return 0, false
-			}
-			if best < 0 || rtt < best {
-				best = rtt
-			}
-		}
-	}
-	return best, best >= 0
+	return p.Net.MinPingFrom(country, addr, probeCount*pingsPerProbe, 0)
+}
+
+// negative reports whether a verdict failed to validate the address —
+// the cache's analogue of a failed resolution (UR and EX verdicts are
+// themselves deterministic, so so is this count).
+func negative(v Verdict) bool {
+	return v.Method == MethodUnresolved || v.Method == MethodExcluded
 }
 
 // GeolocateAnycast verifies whether an anycast address has a site
 // inside the vantage country (§3.5 Step #3 for anycast): latency from
 // in-country probes below the country threshold means yes; anything
-// else excludes the address from the analysis.
+// else excludes the address from the analysis. Verdicts are pure
+// functions of the seeded world, so they are cached per
+// (vantage, addr) with single-flight semantics.
 func (p *Prober) GeolocateAnycast(vantage *world.Country, addr netip.Addr) Verdict {
+	key := anycastKey{vantage: vantage.Code, addr: addr}
+	p.mu.Lock()
+	e := p.anycast[key]
+	created := e == nil
+	if created {
+		e = &verdictEntry{}
+		p.anycast[key] = e
+	}
+	p.mu.Unlock()
+	p.record(p.AnycastMetrics, e, created)
+	e.once.Do(func() {
+		e.v = p.geolocateAnycastUncached(vantage, addr)
+		if negative(e.v) {
+			if m := p.AnycastMetrics; m != nil {
+				m.NegativeEntries.Inc()
+			}
+		}
+		e.done.Store(true)
+	})
+	if !created && negative(e.v) {
+		if m := p.AnycastMetrics; m != nil {
+			m.NegativeHits.Inc()
+		}
+	}
+	return e.v
+}
+
+func (p *Prober) geolocateAnycastUncached(vantage *world.Country, addr netip.Addr) Verdict {
 	v := Verdict{Addr: addr, Anycast: true}
 	rtt, ok := p.minFromProbes(vantage.Code, addr)
 	if !ok {
@@ -129,24 +188,56 @@ func (p *Prober) GeolocateAnycast(vantage *world.Country, addr netip.Addr) Verdi
 	return v
 }
 
+// record folds one cache lookup into cm's ledger. Coalesced counts the
+// non-creating lookups that arrived while the probe sequence was still
+// in flight — an interleaving artifact, reported on the runtime side.
+func (p *Prober) record(cm *metrics.CacheMetrics, e *verdictEntry, created bool) {
+	if cm == nil {
+		return
+	}
+	cm.Lookups.Inc()
+	if created {
+		cm.Misses.Inc()
+		return
+	}
+	cm.Hits.Inc()
+	if !e.done.Load() {
+		cm.Coalesced.Inc()
+	}
+}
+
 // GeolocateUnicast validates a unicast address: IPInfo's claim is
 // checked by active probing from the claimed country, then the
 // multistage pipeline takes over, and conflicts with IPInfo are
-// excluded (§3.5 Steps #1, #3, #4).
+// excluded (§3.5 Steps #1, #3, #4). Unicast verdicts are
+// vantage-independent, so the cache keys on the address alone; the
+// single-flight entry guarantees one probe sequence — including the
+// panel-wide singleRadius sweep — per address across all workers.
 func (p *Prober) GeolocateUnicast(addr netip.Addr) Verdict {
 	p.mu.Lock()
-	if v, ok := p.unicast[addr]; ok {
-		p.mu.Unlock()
-		return v
+	e := p.unicast[addr]
+	created := e == nil
+	if created {
+		e = &verdictEntry{}
+		p.unicast[addr] = e
 	}
 	p.mu.Unlock()
-
-	v := p.geolocateUnicastUncached(addr)
-
-	p.mu.Lock()
-	p.unicast[addr] = v
-	p.mu.Unlock()
-	return v
+	p.record(p.UnicastMetrics, e, created)
+	e.once.Do(func() {
+		e.v = p.geolocateUnicastUncached(addr)
+		if negative(e.v) {
+			if m := p.UnicastMetrics; m != nil {
+				m.NegativeEntries.Inc()
+			}
+		}
+		e.done.Store(true)
+	})
+	if !created && negative(e.v) {
+		if m := p.UnicastMetrics; m != nil {
+			m.NegativeHits.Inc()
+		}
+	}
+	return e.v
 }
 
 func (p *Prober) geolocateUnicastUncached(addr netip.Addr) Verdict {

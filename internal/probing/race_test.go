@@ -1,0 +1,94 @@
+package probing
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestGeolocationCachesUnderRace hammers both verdict caches from many
+// goroutines sharing a small address set — the worst case for the
+// single-flight maps — and checks three things under -race: no data
+// race, every goroutine observes the same verdict per key, and the
+// deterministic metric half (lookups/hits/misses/negatives) lands on
+// the same totals regardless of interleaving.
+func TestGeolocationCachesUnderRace(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 8
+	)
+	type detCounts = [5]int64 // lookups, hits, misses, negative entries, negative hits
+	det := func(m *metrics.CacheMetrics) detCounts {
+		return detCounts{m.Lookups.Load(), m.Hits.Load(), m.Misses.Load(),
+			m.NegativeEntries.Load(), m.NegativeHits.Load()}
+	}
+	run := func() (map[string]Verdict, detCounts, detCounts) {
+		tw := setup(t)
+		var gm metrics.GeoMetrics
+		tw.prober.UnicastMetrics = &gm.Unicast
+		tw.prober.AnycastMetrics = &gm.Anycast
+
+		uniAddrs := benchAddrs(tw, false, 8)
+		anyAddrs := benchAddrs(tw, true, 4)
+		vantages := []string{"US", "DE", "BR", "JP"}
+
+		verdicts := make([]map[string]Verdict, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got := map[string]Verdict{}
+				for r := 0; r < rounds; r++ {
+					for _, a := range uniAddrs {
+						got["uni/"+a.String()] = tw.prober.GeolocateUnicast(a)
+					}
+					for _, vc := range vantages {
+						c := tw.w.MustCountry(vc)
+						for _, a := range anyAddrs {
+							got["any/"+vc+"/"+a.String()] = tw.prober.GeolocateAnycast(c, a)
+						}
+					}
+				}
+				verdicts[g] = got
+			}()
+		}
+		wg.Wait()
+		for g := 1; g < goroutines; g++ {
+			if !reflect.DeepEqual(verdicts[g], verdicts[0]) {
+				t.Fatalf("goroutine %d saw different verdicts than goroutine 0", g)
+			}
+		}
+		return verdicts[0], det(&gm.Unicast), det(&gm.Anycast)
+	}
+
+	v1, u, a := run()
+	v2, u2, a2 := run()
+	if !reflect.DeepEqual(v1, v2) {
+		t.Error("two identically seeded runs disagree on verdicts")
+	}
+	if u != u2 {
+		t.Errorf("unicast deterministic counters differ: %v vs %v", u, u2)
+	}
+	if a != a2 {
+		t.Errorf("anycast deterministic counters differ: %v vs %v", a, a2)
+	}
+
+	// The ledger identities: every lookup is a hit or a miss, and
+	// misses equal the number of distinct keys probed.
+	if u[1]+u[2] != u[0] {
+		t.Errorf("unicast hits+misses = %d+%d != lookups %d", u[1], u[2], u[0])
+	}
+	if want := int64(8); u[2] != want {
+		t.Errorf("unicast misses = %d, want %d (one probe sequence per address)", u[2], want)
+	}
+	if a[1]+a[2] != a[0] {
+		t.Errorf("anycast hits+misses = %d+%d != lookups %d", a[1], a[2], a[0])
+	}
+	if want := int64(4 * 4); a[2] != want {
+		t.Errorf("anycast misses = %d, want %d (one per (vantage, addr))", a[2], want)
+	}
+}

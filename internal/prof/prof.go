@@ -1,0 +1,56 @@
+// Package prof wires the standard pprof profilers into the CLIs: a
+// CPU profile covering the run and a heap profile captured at exit,
+// each gated on a flag-provided path. Perf PRs read these with
+// `go tool pprof` to find the next hot path.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). The stop function is safe to call exactly
+// once, typically via defer; profile-write failures surface on stderr
+// rather than aborting the run, since the measurement already
+// completed.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: create mem profile:", err)
+				return
+			}
+			// Materialise recently freed objects so the heap profile
+			// reflects live allocations, as `go test -memprofile` does.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close mem profile:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,81 @@
+package govhost
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/probing"
+)
+
+// TestGeoValidationStatsCountsUniqueAddresses locks the Table 4
+// accounting: a unicast address serving several governments carries one
+// verdict, so it must count once; anycast verification is per vantage,
+// so the same anycast address counts once per country (and duplicates
+// within a country still collapse).
+func TestGeoValidationStatsCountsUniqueAddresses(t *testing.T) {
+	uni := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	anyc := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	rec := func(country string, ip netip.Addr, anycast bool, method probing.Method) dataset.URLRecord {
+		return dataset.URLRecord{
+			Country: country, IP: ip, Anycast: anycast,
+			ServeCountry: country, GeoMethod: string(method),
+		}
+	}
+	ds := &dataset.Dataset{Records: []dataset.URLRecord{
+		// The same unicast address crawled from three countries, twice in DE.
+		rec("DE", uni, false, probing.MethodAP),
+		rec("DE", uni, false, probing.MethodAP),
+		rec("FR", uni, false, probing.MethodAP),
+		rec("UY", uni, false, probing.MethodAP),
+		// The same anycast address verified from two vantages, twice in FR.
+		rec("DE", anyc, true, probing.MethodAP),
+		rec("FR", anyc, true, probing.MethodAP),
+		rec("FR", anyc, true, probing.MethodAP),
+	}}
+	st := geoValidationStats(ds)
+	if st.UnicastAP != 1 {
+		t.Errorf("UnicastAP = %d, want 1 (one verdict per unicast address)", st.UnicastAP)
+	}
+	if st.AnycastAP != 2 {
+		t.Errorf("AnycastAP = %d, want 2 (one verdict per vantage per anycast address)", st.AnycastAP)
+	}
+}
+
+// TestGeoValidationStatsOnStudy runs a small crawl whose countries
+// share hosting (duplicate-host URL sets resolve to shared provider
+// addresses) and checks the invariant on the real dataset: the unicast
+// rows of Table 4 never exceed the number of distinct unicast
+// addresses, even when several countries observed the same address.
+func TestGeoValidationStatsOnStudy(t *testing.T) {
+	study, err := Run(context.Background(), Config{
+		Scale: 0.05, Countries: []string{"DE", "NL", "PL", "GB", "BE", "SE"},
+		SkipTopsites: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinctUni := map[netip.Addr]bool{}
+	crossCountryDup := false
+	countries := map[netip.Addr]string{}
+	for i := range study.ds.Records {
+		r := &study.ds.Records[i]
+		if r.Anycast {
+			continue
+		}
+		distinctUni[r.IP] = true
+		if c, ok := countries[r.IP]; ok && c != r.Country {
+			crossCountryDup = true
+		}
+		countries[r.IP] = r.Country
+	}
+	if !crossCountryDup {
+		t.Fatal("fixture lost its cross-country duplicate: pick countries that share unicast hosting")
+	}
+	st := geoValidationStats(study.ds)
+	got := st.UnicastAP + st.UnicastMG + st.UnicastUR + st.UnicastEX
+	if got != len(distinctUni) {
+		t.Errorf("unicast verdicts = %d, want %d (one per distinct address)", got, len(distinctUni))
+	}
+}
