@@ -45,10 +45,12 @@ func logOnce(b *testing.B, s *Study, id string) {
 }
 
 func BenchmarkStudyPipeline(b *testing.B) {
-	// The full pipeline end to end at a small scale: environment
-	// build, 61 crawls, classification, resolution, geolocation.
+	// The full pipeline end to end: environment build, 61 crawls,
+	// classification, resolution, geolocation. Scale 0.05 is large
+	// enough that assembly behaviour (streaming vs whole-study
+	// buffering) is visible in the allocation numbers.
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(context.Background(), Config{Scale: 0.02}); err != nil {
+		if _, err := Run(context.Background(), Config{Scale: 0.05}); err != nil {
 			b.Fatal(err)
 		}
 	}

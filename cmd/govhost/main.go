@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -44,6 +45,8 @@ func main() {
 		dumpJSONL   = flag.String("dump-jsonl", "", "write the annotated dataset as JSON lines to this path")
 		dumpCSV     = flag.String("dump-csv", "", "write the annotated dataset as CSV to this path")
 		fromJSONL   = flag.String("from-jsonl", "", "re-analyse a saved dataset instead of running the pipeline")
+		checkpoint  = flag.String("checkpoint", "", "persist each finished country into this directory so a killed run can be resumed")
+		resume      = flag.Bool("resume", false, "resume the run found in -checkpoint: finished countries load from disk, the rest re-run")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the run to this path (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	)
@@ -63,6 +66,15 @@ func main() {
 		return
 	}
 
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "govhost: -resume requires -checkpoint")
+		os.Exit(1)
+	}
+	if *fromJSONL != "" && *checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "govhost: -checkpoint applies to pipeline runs; it cannot be combined with -from-jsonl")
+		os.Exit(1)
+	}
+
 	cfg := govhost.Config{
 		Seed:               *seed,
 		Scale:              *scale,
@@ -78,6 +90,8 @@ func main() {
 		TrustIPInfo:        *trustIPInfo,
 		DisableSAN:         *noSAN,
 		SkipTopsites:       *noTopsites,
+		CheckpointDir:      *checkpoint,
+		Resume:             *resume,
 	}
 	if *countries != "" {
 		cfg.Countries = strings.Split(strings.ToUpper(*countries), ",")
@@ -95,7 +109,12 @@ func main() {
 		study, err = govhost.Load(f)
 		f.Close()
 	} else {
-		study, err = govhost.Run(context.Background(), cfg)
+		// ^C cancels the run context instead of killing the process, so
+		// a checkpointed run drains every completed country to disk
+		// before exiting (a second ^C kills outright).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		study, err = govhost.Run(ctx, cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "govhost:", err)
@@ -146,7 +165,20 @@ func main() {
 	if *metricsOut != "" {
 		snap, ok := study.Metrics()
 		if !ok {
-			fmt.Fprintln(os.Stderr, "govhost: no metrics snapshot (loaded dataset or metrics disabled)")
+			if *fromJSONL != "" {
+				// A re-analysis never ran the pipeline, so the per-stage
+				// ledger (fetches, cache hits, scheduler shape) would be
+				// all zeros — printing it as if measured would be
+				// misleading, and the old behaviour (exit 1) made the
+				// flag combination look like an error. Say what is and
+				// is not available instead.
+				st := study.Stats()
+				fmt.Fprintf(os.Stderr, "govhost: -metrics: no pipeline metrics in a re-analysis (-from-jsonl): the per-stage ledger describes a live run and was not serialised.\n")
+				fmt.Fprintf(os.Stderr, "govhost: dataset-level statistics are available: %d URLs, %d hostnames, %d IPs, %d ASes (%d gov), %d server countries; run -exp coverage for the per-country coverage table.\n",
+					st.UniqueURLs, st.UniqueHostnames, st.UniqueIPs, st.ASes, st.GovASes, st.ServerCountries)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "govhost: no metrics snapshot (metrics disabled)")
 			os.Exit(1)
 		}
 		switch *metricsOut {

@@ -763,5 +763,12 @@ func (s *Study) reportMetrics() string {
 	if !ok {
 		return "no metrics registry: the study was loaded from a saved dataset or run with DisableMetrics\n"
 	}
-	return snap.Text()
+	// The preamble travels with the ledger so regenerated documents
+	// (govreport) keep the reading instructions next to the numbers.
+	return "The registry snapshot is a two-part ledger. The first part is\n" +
+		"seed-deterministic and golden-comparable (byte-identical at any\n" +
+		"concurrency shape for equal seeds, enforced by the chaos suite); the\n" +
+		"second is wall-clock/scheduling-shape observation, excluded from\n" +
+		"golden comparisons. `-metrics json` emits the same snapshot as JSON.\n\n" +
+		snap.Text()
 }

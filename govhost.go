@@ -94,6 +94,16 @@ type Config struct {
 	// DisableMetrics turns off the per-stage metrics registry (on by
 	// default; the instrumentation costs well under 3 % of a run).
 	DisableMetrics bool
+
+	// CheckpointDir, when set, persists each finished country into the
+	// directory as it completes, so a killed run can be resumed instead
+	// of restarted. See Resume.
+	CheckpointDir string
+	// Resume loads the finished countries found in CheckpointDir and
+	// runs only the remainder. The directory's manifest must match this
+	// configuration. A resumed run's exports and deterministic metrics
+	// are byte-identical to an uninterrupted same-seed run.
+	Resume bool
 }
 
 func (c Config) toCore() core.Config {
@@ -116,6 +126,8 @@ func (c Config) toCore() core.Config {
 		GlobalThresholdMS:  c.GlobalThresholdMS,
 		DisableSAN:         c.DisableSAN,
 		DisableMetrics:     c.DisableMetrics,
+		CheckpointDir:      c.CheckpointDir,
+		Resume:             c.Resume,
 	}
 }
 
@@ -508,14 +520,33 @@ func (s *Study) HTTPSAdoption() HTTPSValidity {
 
 // Load reconstructs a Study from a dataset previously written with
 // ExportJSONL, so saved datasets can be re-analysed — every analysis
-// and report works without re-running the pipeline. Only the study's
-// records travel in the interchange format; per-country statistics are
-// re-derived from them.
+// and report works without re-running the pipeline. Format version 2
+// onward carries the measured per-country statistics verbatim; they
+// are kept, not re-derived (re-deriving from the records clobbered the
+// crawl's coverage accounting — attempts, failures, retries — with
+// lossy approximations). Version 1 files carry records only, so the
+// countable subset is approximated from them.
 func Load(r io.Reader) (*Study, error) {
 	ds, err := export.ReadJSONL(r)
 	if err != nil {
 		return nil, fmt.Errorf("govhost: %w", err)
 	}
+	if len(ds.PerCountry) == 0 {
+		ds.PerCountry = derivedCountryStats(ds)
+	}
+	ds.FillTotals()
+	return &Study{
+		cfg: Config{Seed: ds.Seed, Scale: ds.Scale},
+		env: core.LoadedEnv(world.New()),
+		ds:  ds,
+	}, nil
+}
+
+// derivedCountryStats approximates per-country statistics from bare
+// records, for version-1 files that did not store them. Coverage
+// fields that only the live crawl knows (attempts, failures, retries)
+// stay zero.
+func derivedCountryStats(ds *dataset.Dataset) map[string]*dataset.CountryStats {
 	perCountry := map[string]*dataset.CountryStats{}
 	hostsByCountry := map[string]map[string]bool{}
 	for i := range ds.Records {
@@ -536,12 +567,7 @@ func Load(r io.Reader) (*Study, error) {
 	for code, st := range perCountry {
 		st.Hostnames = len(hostsByCountry[code])
 	}
-	ds.PerCountry = perCountry
-	return &Study{
-		cfg: Config{Seed: ds.Seed, Scale: ds.Scale},
-		env: core.LoadedEnv(world.New()),
-		ds:  ds,
-	}, nil
+	return perCountry
 }
 
 // ExportJSONL writes the annotated dataset as JSON lines — the

@@ -524,3 +524,35 @@ func TestSameSeedByteIdenticalExport(t *testing.T) {
 		t.Fatalf("exports diverge at byte %d:\n%q", i, first[lo:hi])
 	}
 }
+
+func TestLoadPreservesMeasuredStats(t *testing.T) {
+	// Version-2+ files carry the crawl's per-country statistics
+	// verbatim; Load must keep them (not re-derive lossy approximations
+	// from the records) and recompute only the dataset totals. The
+	// sharpest check is a full round trip: export → Load → export must
+	// be byte-identical, coverage counters included.
+	s := fullStudy(t)
+	var first bytes.Buffer
+	if err := s.ExportJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.ExportJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("export → Load → export is not byte-identical: measured stats were clobbered")
+	}
+	// The live crawl's coverage accounting survived: attempts and
+	// retries only exist in the measured stats, never in the records.
+	if loaded.ds.TotalAttempted == 0 || loaded.ds.TotalAttempted != s.ds.TotalAttempted {
+		t.Fatalf("attempted: loaded %d, want %d", loaded.ds.TotalAttempted, s.ds.TotalAttempted)
+	}
+	if loaded.ds.TotalRetries != s.ds.TotalRetries {
+		t.Fatalf("retries: loaded %d, want %d", loaded.ds.TotalRetries, s.ds.TotalRetries)
+	}
+}

@@ -1,0 +1,207 @@
+// Package checkpoint persists finished per-country work so a killed
+// study can resume where it stopped instead of redoing everything —
+// the durable-pipeline property the large hosting measurements this
+// repo reproduces treat as table stakes (multi-week crawls are
+// stopped, moved and resumed; redoing finished countries is the
+// dominant waste).
+//
+// A checkpoint directory holds one manifest (the study parameters that
+// must match for stored work to be reusable) and one file per finished
+// country carrying its records, coverage statistics, method tallies,
+// the hostnames whose resolution failed, and the country's
+// deterministic metric contribution. Records are stored pre-category:
+// provider categories depend on the study-global continental span of
+// each ASN, so they are assigned only once every country is in — the
+// resuming run re-derives them, which is exactly what an uninterrupted
+// run does.
+//
+// Every write is atomic (temp file + rename), so a kill mid-write
+// leaves either the previous state or the new one, never a torn file.
+// Checkpoint bytes are seed-deterministic: encoding/json sorts map
+// keys, records are stored in their canonical per-country order, and
+// nothing wall-clock is recorded.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// Manifest pins the study parameters a checkpoint directory belongs
+// to. Resuming under any other parameters would splice incompatible
+// work into the run, so Open refuses on mismatch. SkipTopsites is
+// deliberately absent: topsites are never checkpointed (they re-run on
+// resume), so the flag may differ between the killed and resuming run.
+type Manifest struct {
+	Seed              int64    `json:"seed"`
+	Scale             float64  `json:"scale"`
+	Countries         []string `json:"countries"` // resolved study codes, sorted
+	CrawlDepth        int      `json:"crawlDepth"`
+	MaxURLsPerCrawl   int      `json:"maxURLsPerCrawl"`
+	FaultProfile      string   `json:"faultProfile,omitempty"`
+	FaultSeed         int64    `json:"faultSeed"`
+	RetryAttempts     int      `json:"retryAttempts"`
+	RetryBudget       int64    `json:"retryBudget"`
+	TrustIPInfo       bool     `json:"trustIPInfo,omitempty"`
+	GlobalThresholdMS float64  `json:"globalThresholdMS,omitempty"`
+	DisableSAN        bool     `json:"disableSAN,omitempty"`
+	TrendYears        int      `json:"trendYears,omitempty"`
+	IPInfoErrorRate   float64  `json:"ipinfoErrorRate"`
+	ManycastRecall    float64  `json:"manycastRecall"`
+	DisableMetrics    bool     `json:"disableMetrics,omitempty"`
+}
+
+// HostOutcome records one hostname whose resolution failed, with the
+// failure classification a resuming run must replay (successful hosts
+// need no separate entry — their outcome is reconstructed from the
+// records).
+type HostOutcome struct {
+	Host     string `json:"host"`
+	FailKind string `json:"failKind"`
+}
+
+// Country is one finished country's persisted state.
+type Country struct {
+	Code string `json:"code"`
+	// Stats is the country's coverage-statistics row, exactly as the
+	// dataset would carry it.
+	Stats *dataset.CountryStats `json:"stats"`
+	// Methods tallies the §3.3 classification outcomes (tld / domain /
+	// san / discarded).
+	Methods map[string]int `json:"methods,omitempty"`
+	// Records are the country's annotated URL records in canonical
+	// (URL-sorted) order, pre-category: Category and GovAS are zero
+	// until the full study assigns them.
+	Records []dataset.URLRecord `json:"records,omitempty"`
+	// FailedHosts lists the hostnames this country was first to resolve
+	// that failed, so a resuming run can seed the negative cache.
+	FailedHosts []HostOutcome `json:"failedHosts,omitempty"`
+	// Delta is the country's deterministic metric contribution: its
+	// directly attributable counters plus its canonical share of the
+	// shared caches (a miss for every host/address it was first — in
+	// checkpoint store order — to touch). Summed over any stored subset
+	// and added to the live counters of the countries that re-run, the
+	// totals equal an uninterrupted run's.
+	Delta metrics.Deterministic `json:"delta"`
+}
+
+// Store writes per-country checkpoints into one directory.
+type Store struct {
+	dir string
+}
+
+const manifestName = "manifest.json"
+
+// Open prepares a checkpoint directory. With resume false the
+// directory must not already contain a run (a leftover manifest is an
+// error — refusing beats silently clobbering finished work); the
+// manifest is written and an empty store returned. With resume true an
+// existing manifest must match m exactly and every stored country is
+// loaded; a missing manifest degrades to a fresh start, so -resume is
+// safe to pass unconditionally.
+func Open(dir string, m Manifest, resume bool) (*Store, []Country, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if !resume {
+			return nil, nil, fmt.Errorf("checkpoint: %s already holds a run; pass resume to continue it or choose an empty directory", dir)
+		}
+		var stored Manifest
+		if err := json.Unmarshal(raw, &stored); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: manifest: %w", err)
+		}
+		if err := match(stored, m); err != nil {
+			return nil, nil, err
+		}
+		s := &Store{dir: dir}
+		countries, err := s.loadAll()
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, countries, nil
+	case os.IsNotExist(err):
+		s := &Store{dir: dir}
+		if err := s.writeAtomic(manifestName, m); err != nil {
+			return nil, nil, err
+		}
+		return s, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+}
+
+// match compares the stored manifest against the requested one
+// field-by-field, naming the first divergence.
+func match(stored, want Manifest) error {
+	a, err := json.Marshal(stored)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if string(a) != string(b) {
+		return fmt.Errorf("checkpoint: manifest mismatch: directory holds %s, run wants %s", a, b)
+	}
+	return nil
+}
+
+// Put persists one finished country atomically.
+func (s *Store) Put(c Country) error {
+	return s.writeAtomic(c.Code+".json", c)
+}
+
+// writeAtomic marshals v and renames it into place, so a kill mid-write
+// never leaves a torn file.
+func (s *Store) writeAtomic(name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o666); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// loadAll reads every stored country. Load order does not matter:
+// deltas are additive and cache seeding is a set union, so the caller
+// may apply them in any sequence.
+func (s *Store) loadAll() ([]Country, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Country
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var c Country
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", name, err)
+		}
+		if c.Code == "" || c.Code+".json" != name {
+			return nil, fmt.Errorf("checkpoint: %s: stored code %q does not match filename", name, c.Code)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package checkpoint
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func testManifest() Manifest {
+	return Manifest{
+		Seed: 42, Scale: 0.02, Countries: []string{"NG", "US", "UY"},
+		RetryAttempts: 3, IPInfoErrorRate: 0.03, ManycastRecall: 0.97,
+	}
+}
+
+func testCountry(code string) Country {
+	return Country{
+		Code:    code,
+		Stats:   &dataset.CountryStats{Country: code, LandingURLs: 2, Attempted: 10},
+		Methods: map[string]int{"tld": 3, "discarded": 1},
+		Records: []dataset.URLRecord{{
+			URL: "https://a." + strings.ToLower(code) + "/", Host: "a." + strings.ToLower(code),
+			Country: code, IP: netip.MustParseAddr("192.0.2.7"), ASN: 64500,
+		}},
+		FailedHosts: []HostOutcome{{Host: "bad." + strings.ToLower(code), FailKind: "dns"}},
+		Delta: metrics.Deterministic{
+			Cache: metrics.CacheCounters{Lookups: 2, Misses: 2},
+		},
+	}
+}
+
+func TestOpenFreshThenResumeRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	store, loaded, err := Open(dir, testManifest(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 {
+		t.Fatalf("fresh open returned %d countries", len(loaded))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	want := testCountry("UY")
+	if err := store.Put(want); err != nil {
+		t.Fatal(err)
+	}
+
+	_, loaded, err = Open(dir, testManifest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("resume loaded %d countries, want 1", len(loaded))
+	}
+	got := loaded[0]
+	if got.Code != "UY" || got.Stats.Attempted != 10 || got.Methods["tld"] != 3 {
+		t.Fatalf("loaded country diverged: %+v", got)
+	}
+	if len(got.Records) != 1 || got.Records[0].IP != want.Records[0].IP {
+		t.Fatalf("records diverged: %+v", got.Records)
+	}
+	if len(got.FailedHosts) != 1 || got.FailedHosts[0].FailKind != "dns" {
+		t.Fatalf("failed hosts diverged: %+v", got.FailedHosts)
+	}
+	if got.Delta.Cache.Lookups != 2 {
+		t.Fatalf("delta diverged: %+v", got.Delta)
+	}
+}
+
+func TestOpenRefusesExistingRunWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Open(dir, testManifest(), false); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, testManifest(), false)
+	if err == nil || !strings.Contains(err.Error(), "already holds a run") {
+		t.Fatalf("second open without resume: err = %v", err)
+	}
+}
+
+func TestOpenResumeRejectsManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Open(dir, testManifest(), false); err != nil {
+		t.Fatal(err)
+	}
+	other := testManifest()
+	other.Scale = 0.1
+	_, _, err := Open(dir, other, true)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("mismatched resume: err = %v", err)
+	}
+}
+
+func TestOpenResumeWithoutManifestDegradesToFresh(t *testing.T) {
+	dir := t.TempDir()
+	store, loaded, err := Open(dir, testManifest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil || len(loaded) != 0 {
+		t.Fatalf("resume on empty dir: store=%v loaded=%d", store, len(loaded))
+	}
+	// The fresh-started directory must now carry the manifest, so the
+	// next resume validates against it.
+	if _, _, err := Open(dir, testManifest(), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBytesDeterministicAndAtomic(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := Open(dir, testManifest(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCountry("NG")
+	if err := store.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "NG.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "NG.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("checkpoint bytes differ across identical Puts")
+	}
+	// No temp residue: the write renamed into place.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadAllRejectsMismatchedFilename(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := Open(dir, testManifest(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCountry("US")
+	c.Code = "UY" // stored under US.json below
+	if err := store.writeAtomic("US.json", c); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, testManifest(), true)
+	if err == nil || !strings.Contains(err.Error(), "does not match filename") {
+		t.Fatalf("mismatched filename: err = %v", err)
+	}
+}

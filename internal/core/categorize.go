@@ -2,7 +2,6 @@ package core
 
 import (
 	"net/netip"
-	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/govclass"
@@ -114,59 +113,4 @@ func isGlobalProviderASN(env *Env, asn int) bool {
 		}
 	}
 	return false
-}
-
-// fillTotals computes the Table 3 aggregate statistics.
-func fillTotals(env *Env, ds *dataset.Dataset) {
-	hosts := map[string]bool{}
-	ips := map[netip.Addr]bool{}
-	anycastIPs := map[netip.Addr]bool{}
-	asns := map[int]bool{}
-	govASNs := map[int]bool{}
-	serveCountries := map[string]bool{}
-	urls := map[string]bool{}
-
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		urls[r.URL] = true
-		hosts[r.Host] = true
-		ips[r.IP] = true
-		asns[r.ASN] = true
-		if r.GovAS {
-			govASNs[r.ASN] = true
-		}
-		if r.Anycast {
-			anycastIPs[r.IP] = true
-		}
-		if r.ServeCountry != "" {
-			serveCountries[r.ServeCountry] = true
-		}
-	}
-	for _, st := range ds.PerCountry {
-		ds.TotalLanding += st.LandingURLs
-		ds.TotalInternal += st.InternalURLs
-		ds.TotalAttempted += st.Attempted
-		ds.TotalFailedURLs += st.FailedURLs
-		ds.TotalRetries += st.Retries
-		for kind, n := range st.Failures {
-			if ds.FailuresByKind == nil {
-				ds.FailuresByKind = map[string]int{}
-			}
-			ds.FailuresByKind[kind] += n
-		}
-		if st.Failed {
-			ds.FailedCountries = append(ds.FailedCountries, st.Country)
-		}
-	}
-	sort.Strings(ds.FailedCountries)
-	ds.TotalUniqueURLs = len(urls)
-	ds.TotalHostnames = len(hosts)
-	ds.UniqueIPs = len(ips)
-	ds.AnycastIPs = len(anycastIPs)
-	ds.ASes = len(asns)
-	ds.GovASes = len(govASNs)
-	ds.ServerCountries = len(serveCountries)
-
-	sortRecords(ds.Records)
-	sortRecords(ds.Topsites)
 }

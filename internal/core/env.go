@@ -95,6 +95,18 @@ type Config struct {
 	// instrumentation costs well under the 3% bench budget, so it is on
 	// by default; the off switch exists for overhead comparisons.
 	DisableMetrics bool
+
+	// CheckpointDir, when set, persists each finished country into the
+	// directory as it flushes through the merge sink, so a killed run
+	// can restart where it stopped. The directory must be empty (or
+	// hold a matching interrupted run, with Resume set).
+	CheckpointDir string
+	// Resume loads finished countries from CheckpointDir instead of
+	// re-running them. The stored manifest must match this
+	// configuration; a missing manifest degrades to a fresh start. A
+	// resumed run's exports and deterministic metrics are byte-identical
+	// to an uninterrupted same-seed run at any concurrency shape.
+	Resume bool
 }
 
 // withDefaults fills unset fields.
@@ -163,6 +175,11 @@ type Env struct {
 	// crawler; nil when Config.DisableMetrics is set (or for loaded
 	// studies, which never ran a pipeline).
 	metrics *metrics.Registry
+
+	// afterFlush, when set, is called by the merge sink after each
+	// country flushes (and, when checkpointing, persists). Tests use it
+	// to kill a run at a precise completion boundary.
+	afterFlush func(code string)
 }
 
 // Metrics exposes the per-stage metrics registry; nil when metrics are

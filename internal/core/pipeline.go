@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/crawler"
 	"repro/internal/dataset"
 	"repro/internal/faults"
@@ -78,11 +80,17 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 		Seed:       cfg.Seed,
 	}
 
-	type countryResult struct {
-		stats   *dataset.CountryStats
-		records []dataset.URLRecord
-		methods map[govclass.URLMethod]int
-		err     error
+	// Open the checkpoint store before any work starts: a manifest
+	// mismatch or an unwilling directory should fail the run while it
+	// is still free to fail.
+	var store *checkpoint.Store
+	var loaded []checkpoint.Country
+	if cfg.CheckpointDir != "" {
+		var err error
+		store, loaded, err = checkpoint.Open(cfg.CheckpointDir, env.manifest(countries), cfg.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	pool := sched.NewPool(cfg.FetchConcurrency)
@@ -91,25 +99,94 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 		pool.SetMetrics(&env.metrics.Sched)
 	}
 	if cfg.RetryBudget > 0 {
-		pool.SetRetryBudget(sched.NewBudget(cfg.RetryBudget))
+		// Loaded countries already spent their share of the study-wide
+		// budget; the resuming run inherits only the remainder, so a
+		// resumed run can never spend more retries than the budget.
+		rem := cfg.RetryBudget
+		for i := range loaded {
+			if loaded[i].Stats != nil {
+				rem -= int64(loaded[i].Stats.Retries)
+			}
+		}
+		if rem < 0 {
+			rem = 0
+		}
+		pool.SetRetryBudget(sched.NewBudget(rem))
+	}
+
+	// The merge sink consumes completed countries in sorted-code order
+	// while later countries are still crawling: each completion flushes
+	// straight into the dataset (and the checkpoint store) the moment
+	// every earlier country is in, so peak buffered state is the parked
+	// out-of-order completions, not the whole study.
+	codes := make([]string, len(countries))
+	for i, c := range countries {
+		codes[i] = c.Code
+	}
+	sink := newMergeSink(env, ds, store, codes)
+	var sinkMu sync.Mutex
+
+	// Resume: replay the stored countries' shared-cache outcomes
+	// (metric-free — their ledger share arrives through the stored
+	// deltas), then hand them to the sink at their ranks so fresh
+	// countries slot in around them.
+	loadedSet := make(map[string]bool, len(loaded))
+	for i := range loaded {
+		lc := &loaded[i]
+		if _, ok := sink.rank[lc.Code]; !ok {
+			return nil, fmt.Errorf("core: checkpoint holds country %s outside the study set", lc.Code)
+		}
+		loadedSet[lc.Code] = true
+		env.seedFromCheckpoint(lc)
+	}
+	for i := range loaded {
+		lc := &loaded[i]
+		methods := make(map[govclass.URLMethod]int, len(lc.Methods))
+		for m, n := range lc.Methods {
+			methods[govclass.URLMethod(m)] = n
+		}
+		if err := sink.complete(&countryDone{
+			code: lc.Code, stats: lc.Stats, records: lc.Records,
+			methods: methods, loaded: lc,
+		}); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	// A fixed team of coordinators pulls country indexes from a
 	// channel; all their fetch/annotate work funnels through the shared
-	// pool.
-	results := make([]countryResult, len(countries))
+	// pool. Each fresh country records its attributable deterministic
+	// counters into a fork registry, absorbed study-wide at flush — the
+	// separation checkpointing needs.
+	errs := make([]error, len(countries))
 	idx := make(chan int)
 	wait := sched.Workers(cfg.CountryConcurrency, func(int) {
 		for i := range idx {
 			if ctx.Err() != nil {
 				continue // drain the remaining indexes without working
 			}
-			recs, stats, methods, err := env.runCountry(ctx, countries[i], pool)
-			results[i] = countryResult{stats: stats, records: recs, methods: methods, err: err}
+			var fork *metrics.Registry
+			if env.metrics != nil {
+				fork = metrics.New()
+			}
+			d, err := env.runCountry(ctx, countries[i], pool, fork)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			sinkMu.Lock()
+			err = sink.complete(d)
+			sinkMu.Unlock()
+			if err != nil {
+				errs[i] = err
+			}
 		}
 	})
 feed:
 	for i := range countries {
+		if loadedSet[countries[i].Code] {
+			continue
+		}
 		select {
 		case idx <- i:
 		case <-ctx.Done():
@@ -120,21 +197,28 @@ feed:
 	wait()
 
 	if err := ctx.Err(); err != nil {
+		// Cancellation used to discard every completed country. With a
+		// checkpoint store attached, completions parked behind a
+		// still-crawling earlier country are flushed — and persisted —
+		// before the error returns, so finished work survives the kill.
+		if store != nil {
+			sinkMu.Lock()
+			derr := sink.drain()
+			sinkMu.Unlock()
+			if derr != nil {
+				return nil, fmt.Errorf("core: %w", derr)
+			}
+		}
 		return nil, err
 	}
-	for i, res := range results {
-		if res.err != nil {
-			// Only cancellation propagates here; per-country collection
-			// failures degrade to a Failed stats entry inside
-			// runCountry, so one hostile country cannot abort the study.
-			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, res.err)
+	for i, e := range errs {
+		if e != nil {
+			// Only cancellation and checkpoint-write failures propagate
+			// here; per-country collection failures degrade to a Failed
+			// stats entry inside runCountry, so one hostile country
+			// cannot abort the study.
+			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, e)
 		}
-		ds.Records = append(ds.Records, res.records...)
-		ds.PerCountry[countries[i].Code] = res.stats
-		ds.MethodTLD += res.methods[govclass.MethodTLD]
-		ds.MethodDomain += res.methods[govclass.MethodDomain]
-		ds.MethodSAN += res.methods[govclass.MethodSAN]
-		ds.Discarded += res.methods[govclass.MethodDiscarded]
 	}
 
 	if !cfg.SkipTopsites {
@@ -146,9 +230,31 @@ feed:
 	}
 
 	assignCategories(env, ds)
-	fillTotals(env, ds)
+	ds.FillTotals()
 	env.pipelineMetrics().ObserveStage("study", time.Since(studyStart))
 	return ds, nil
+}
+
+// manifest pins the parameters a checkpoint directory must share with
+// this run. SkipTopsites is excluded: topsites are never checkpointed
+// and re-run on resume under the current flag.
+func (env *Env) manifest(countries []*world.Country) checkpoint.Manifest {
+	cfg := env.Config
+	codes := make([]string, len(countries))
+	for i, c := range countries {
+		codes[i] = c.Code
+	}
+	sort.Strings(codes)
+	return checkpoint.Manifest{
+		Seed: cfg.Seed, Scale: cfg.Scale, Countries: codes,
+		CrawlDepth: cfg.CrawlDepth, MaxURLsPerCrawl: cfg.MaxURLsPerCrawl,
+		FaultProfile: cfg.FaultProfile, FaultSeed: cfg.FaultSeed,
+		RetryAttempts: cfg.RetryAttempts, RetryBudget: cfg.RetryBudget,
+		TrustIPInfo: cfg.TrustIPInfo, GlobalThresholdMS: cfg.GlobalThresholdMS,
+		DisableSAN: cfg.DisableSAN, TrendYears: cfg.TrendYears,
+		IPInfoErrorRate: cfg.IPInfoErrorRate, ManycastRecall: cfg.ManycastRecall,
+		DisableMetrics: cfg.DisableMetrics,
+	}
 }
 
 // studyCountries resolves the configured country subset.
@@ -162,9 +268,13 @@ func (env *Env) studyCountries() []*world.Country {
 		}
 		return out
 	}
+	// Deduplicate: the merge sink ranks countries by code, and a code
+	// listed twice must not run (or flush) twice.
+	seen := map[string]bool{}
 	for _, code := range env.Config.Countries {
 		c := env.World.MustCountry(code)
-		if c.Landing > 0 {
+		if c.Landing > 0 && !seen[c.Code] {
+			seen[c.Code] = true
 			out = append(out, c)
 		}
 	}
@@ -180,14 +290,16 @@ const maxVantageAttempts = 3
 // connectVantage obtains a location-validated vantage for c, retrying
 // with fresh egresses on validation failure (or on an injected egress
 // flap). It reports the attempts used so coverage stats record how
-// hard the vantage was to pin down.
-func (env *Env) connectVantage(c *world.Country) (*vantage.Point, int, error) {
+// hard the vantage was to pin down. Injected flaps land in fam —
+// the country's fork when one is attached, so the injection is
+// attributable and checkpointable.
+func (env *Env) connectVantage(c *world.Country, fam *metrics.FaultMetrics) (*vantage.Point, int, error) {
 	var err error
 	for attempt := 0; attempt < maxVantageAttempts; attempt++ {
 		vp := vantage.ConnectAttempt(c, env.Estate, env.Net, env.Config.Seed, attempt)
 		err = vp.ValidateLocation(env.Net)
 		if err == nil && env.Faults != nil && env.Faults.EgressFlap(c.Code, attempt) {
-			env.faultMetrics().Inject(string(faults.KindFlap))
+			fam.Inject(string(faults.KindFlap))
 			err = fmt.Errorf("faults: egress %v flapped during validation (injected)", vp.Egress)
 		}
 		if err == nil {
@@ -201,10 +313,11 @@ func (env *Env) connectVantage(c *world.Country) (*vantage.Point, int, error) {
 // raw fetcher, the fault injector when a plan is active, and the
 // retrying fetcher on top — classification-driven retries with capped,
 // seed-jittered backoff, drawing on the pool's study-wide retry
-// budget.
-func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier {
+// budget. The metric targets are parameters so a country's fork (or
+// the study registry, for topsites) receives the accounting.
+func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool, fm *metrics.FetchMetrics, fam *metrics.FaultMetrics) *fetch.Retrier {
 	if env.Faults != nil {
-		inner = &faults.Fetcher{Inner: inner, Plan: env.Faults, Metrics: env.faultMetrics()}
+		inner = &faults.Fetcher{Inner: inner, Plan: env.Faults, Metrics: fam}
 	}
 	r := &fetch.Retrier{
 		Inner: inner,
@@ -212,7 +325,7 @@ func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier
 			MaxAttempts: env.Config.RetryAttempts,
 			Seed:        env.Config.Seed,
 		},
-		Metrics: env.fetchMetrics(),
+		Metrics: fm,
 	}
 	if b := pool.RetryBudget(); b != nil {
 		r.Budget = b
@@ -220,12 +333,63 @@ func (env *Env) fetchStack(inner fetch.Fetcher, pool *sched.Pool) *fetch.Retrier
 	return r
 }
 
+// candidate indexes an archive entry admitted to annotation, with the
+// §3.3 method that admitted it. Candidates index into the archive
+// rather than copying entries: the annotation fan-out only needs to
+// read them, and the archive is immutable once the crawl returns.
+type candidate struct {
+	idx    int
+	method govclass.URLMethod
+}
+
+// classifyEntries runs the §3.3 classifier over a crawl archive,
+// splitting usable entries into annotation candidates and tallying
+// classification outcomes so the per-country accounting identity
+// (Attempted == Records + Failures + Discarded + Unusable) closes.
+//
+// Method tallies skip the landing seeds — they are study inputs, not
+// crawl discoveries — with one deliberate exception: discarded entries
+// count unconditionally. The coverage identity counts every discarded
+// entry, landing or not, so gating the discarded tally behind the
+// landing check (as the other methods are gated) made the dataset's
+// Discarded total disagree with the metrics ledger whenever a landing
+// URL itself classified as discarded.
+func classifyEntries(classifier *govclass.URLClassifier, entries []har.Entry, landingSet map[string]bool) (candidates []candidate, methods map[govclass.URLMethod]int, unusable int64) {
+	methods = make(map[govclass.URLMethod]int)
+	for i := range entries {
+		entry := &entries[i]
+		// Failure covers the degraded-but-200 cases (truncation): an
+		// entry is either a coverage loss or a record, never both.
+		if entry.Status != 200 || entry.Failure != "" {
+			if entry.Failure == "" {
+				unusable++ // e.g. a 404: healthy fetch, no usable body
+			}
+			continue
+		}
+		method := classifier.Classify(entry.Host)
+		if method == govclass.MethodDiscarded {
+			methods[method]++
+			continue
+		}
+		if !landingSet[entry.URL] {
+			methods[method]++
+		}
+		candidates = append(candidates, candidate{idx: i, method: method})
+	}
+	return candidates, methods, unusable
+}
+
 // runCountry performs the §3 pipeline for one country; every fetch and
 // annotation runs on the shared pool. Collection failures degrade
 // gracefully: an unvalidatable vantage yields a Failed stats entry
 // (the study continues without the country), and per-URL failures
 // classify into the stats' coverage taxonomy instead of vanishing.
-func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Pool) ([]dataset.URLRecord, *dataset.CountryStats, map[govclass.URLMethod]int, error) {
+//
+// Deterministic, attributable counters land in the country's fork
+// registry (carried inside the returned countryDone) so the merge sink
+// can absorb — and checkpoint — them at flush; wall-clock timings stay
+// on the study registry, which never feeds golden comparisons.
+func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Pool, fork *metrics.Registry) (*countryDone, error) {
 	cfg := env.Config
 	landings := env.Estate.LandingURLs[c.Code]
 	stats := &dataset.CountryStats{
@@ -234,25 +398,34 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 		LandingURLs: len(landings),
 	}
 
-	pm := env.pipelineMetrics()
+	pm := env.pipelineMetrics() // study-level: wall-clock timings only
+	var dpm *metrics.PipelineMetrics
+	var cm *metrics.CrawlMetrics
+	var fm *metrics.FetchMetrics
+	var fam *metrics.FaultMetrics
+	var sm *metrics.SchedMetrics
+	if fork != nil {
+		dpm, cm, fm = &fork.Pipeline, &fork.Crawl, &fork.Fetch
+		fam, sm = &fork.Faults, &fork.Sched
+	}
 	var timings metrics.CountryTimings
 
 	// §3.2: connect through an in-country VPN vantage and validate its
 	// claimed location before trusting it; reconnect on failure.
 	stageStart := time.Now()
-	vp, attempts, vErr := env.connectVantage(c)
+	vp, attempts, vErr := env.connectVantage(c, fam)
 	timings.Vantage = time.Since(stageStart)
 	stats.VantageAttempts = attempts
 	if vErr != nil {
 		stats.Failed = true
 		stats.FailureReason = fmt.Sprintf("vantage validation: %v", vErr)
-		pm.RecordCountry(c.Code, metrics.CountryCounters{VantageAttempts: int64(attempts)}, true, nil)
+		dpm.RecordCountry(c.Code, metrics.CountryCounters{VantageAttempts: int64(attempts)}, true, nil)
 		pm.RecordCountryTimings(c.Code, timings)
 		pm.ObserveStage("vantage", timings.Vantage)
-		return nil, stats, nil, nil
+		return &countryDone{code: c.Code, stats: stats, fork: fork}, nil
 	}
 
-	retrier := env.fetchStack(vp.Fetcher, pool)
+	retrier := env.fetchStack(vp.Fetcher, pool, fm, fam)
 	cr := &crawler.Crawler{
 		Fetcher: retrier,
 		Config: crawler.Config{
@@ -262,13 +435,14 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 			VPN:      vp.VPN,
 		},
 		Pool:    pool,
-		Metrics: env.crawlMetrics(),
+		Metrics: cm,
+		Sched:   sm,
 	}
 	stageStart = time.Now()
 	archive, err := cr.Crawl(ctx, landings)
 	timings.Crawl = time.Since(stageStart)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	// Coverage accounting: every crawled URL either produced a usable
@@ -283,43 +457,11 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	// §3.3: identify internal government URLs.
 	stageStart = time.Now()
 	classifier := env.urlClassifier(c)
-	methods := make(map[govclass.URLMethod]int)
 	landingSet := make(map[string]bool, len(landings))
 	for _, l := range landings {
 		landingSet[l] = true
 	}
-
-	// Candidates index into the archive rather than copying entries: the
-	// annotation fan-out only needs to read them, and the archive is
-	// immutable once the crawl returns. Discarded and unusable entries
-	// are tallied so the per-country accounting identity
-	// (Attempted == Records + Failures + Discarded + Unusable) closes.
-	type candidate struct {
-		idx    int
-		method govclass.URLMethod
-	}
-	var candidates []candidate
-	var discarded, unusable int64
-	for i := range archive.Entries {
-		entry := &archive.Entries[i]
-		// Failure covers the degraded-but-200 cases (truncation): an
-		// entry is either a coverage loss or a record, never both.
-		if entry.Status != 200 || entry.Failure != "" {
-			if entry.Failure == "" {
-				unusable++ // e.g. a 404: healthy fetch, no usable body
-			}
-			continue
-		}
-		method := classifier.Classify(entry.Host)
-		if !landingSet[entry.URL] {
-			methods[method]++
-		}
-		if method == govclass.MethodDiscarded {
-			discarded++
-			continue
-		}
-		candidates = append(candidates, candidate{idx: i, method: method})
-	}
+	candidates, methods, unusable := classifyEntries(classifier, archive.Entries, landingSet)
 	timings.Classify = time.Since(stageStart)
 
 	// Annotation fans out through the same bounded pool as the fetches;
@@ -329,22 +471,34 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	recs := make([]dataset.URLRecord, len(candidates))
 	errs := make([]error, len(candidates))
 	stageStart = time.Now()
-	pool.Each(ctx, len(candidates), func(i int) {
-		recs[i], errs[i] = env.annotate(c, archive.Entries[candidates[i].idx])
+	pool.EachWith(ctx, len(candidates), sm, func(i int) {
+		recs[i], errs[i] = env.annotate(c, archive.Entries[candidates[i].idx], dpm)
 	})
 	timings.Annotate = time.Since(stageStart)
 	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
+	// Compaction also tallies each hostname's resolution outcomes: the
+	// kind is kept raw (pre-rewrite) so a checkpoint replays exactly
+	// what fetch.ClassifyError saw, and the FailOther→FailDNS stats
+	// rewrite below happens identically on fresh and resumed paths.
 	records := recs[:0]
-	hostSeen := map[string]bool{}
+	hosts := make(map[string]*hostTally)
 	for i := range recs {
+		host := archive.Entries[candidates[i].idx].Host
+		t := hosts[host]
+		if t == nil {
+			t = &hostTally{}
+			hosts[host] = t
+		}
+		t.lookups++
 		if errs[i] != nil {
 			// Unresolvable hostnames drop out of the records, as in any
 			// crawl — but no longer silently: resolution failures are
 			// coverage losses too.
 			kind := fetch.ClassifyError(errs[i])
+			t.failKind = string(kind)
 			if kind == fetch.FailOther {
 				kind = fetch.FailDNS // annotation errors are resolution failures
 			}
@@ -353,14 +507,24 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 		}
 		recs[i].Method = string(candidates[i].method)
 		records = append(records, recs[i])
-		hostSeen[archive.Entries[candidates[i].idx].Host] = true
+	}
+	hostnames := 0
+	for _, t := range hosts {
+		if t.failKind == "" {
+			hostnames++
+		}
 	}
 
 	stats.InternalURLs = methods[govclass.MethodTLD] + methods[govclass.MethodDomain] + methods[govclass.MethodSAN]
-	stats.Hostnames = len(hostSeen)
+	stats.Hostnames = hostnames
 	stats.Retries = int(retrier.Stats().Retries)
+	discarded := int64(methods[govclass.MethodDiscarded])
 
-	pm.RecordCountry(c.Code, metrics.CountryCounters{
+	// Records leave runCountry in their canonical per-country order, so
+	// the merge sink's append keeps the dataset globally sorted.
+	dataset.SortRecords(records)
+
+	dpm.RecordCountry(c.Code, metrics.CountryCounters{
 		Attempted:       int64(stats.Attempted),
 		Records:         int64(len(records)),
 		Failures:        int64(stats.FailedURLs),
@@ -374,15 +538,19 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	pm.ObserveStage("crawl", timings.Crawl)
 	pm.ObserveStage("classify", timings.Classify)
 	pm.ObserveStage("annotate", timings.Annotate)
-	return records, stats, methods, nil
+	return &countryDone{
+		code: c.Code, stats: stats, records: records,
+		methods: methods, hosts: hosts, fork: fork,
+	}, nil
 }
 
 // annotate resolves one crawled URL to its serving infrastructure
 // (Table 2) and validated location. Resolution goes through the
 // study-wide cache, so each distinct hostname — resolvable or not — is
-// looked up once across all countries.
-func (env *Env) annotate(c *world.Country, entry har.Entry) (dataset.URLRecord, error) {
-	env.pipelineMetrics().RecordAnnotation()
+// looked up once across all countries. The annotation counter lands in
+// pm — the country's fork (or the study registry, for topsites).
+func (env *Env) annotate(c *world.Country, entry har.Entry, pm *metrics.PipelineMetrics) (dataset.URLRecord, error) {
+	pm.RecordAnnotation()
 	rec := dataset.URLRecord{
 		URL:     entry.URL,
 		Host:    entry.Host,
@@ -465,17 +633,4 @@ func (env *Env) urlClassifier(c *world.Country) *govclass.URLClassifier {
 			return site != nil && site.Kind != webgen.KindContractor && site.Kind != webgen.KindTopsite
 		},
 	}
-}
-
-// sortRecords orders records deterministically (by country, then URL).
-// sort.Slice, not slices.SortFunc: the generic sort copies whole
-// records around while the reflect-based one swaps in place, and at
-// ~230 bytes per record the copies dominate.
-func sortRecords(recs []dataset.URLRecord) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Country != recs[j].Country {
-			return recs[i].Country < recs[j].Country
-		}
-		return recs[i].URL < recs[j].URL
-	})
 }

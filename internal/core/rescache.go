@@ -85,6 +85,26 @@ func (c *rescache) resolve(host string, fn resolveFunc) (netip.Addr, whois.Recor
 	return e.ip, e.rec, e.err
 }
 
+// seed installs a settled outcome for host without running a
+// resolution and without touching the cache metrics — how a resumed
+// run replays the resolutions its checkpointed countries already paid
+// for (their cache accounting arrives separately, via the stored
+// deterministic deltas). An existing entry is left untouched, so
+// seeding is idempotent across overlapping checkpoints.
+func (c *rescache) seed(host string, ip netip.Addr, rec whois.Record, err error) {
+	c.mu.Lock()
+	e := c.m[host]
+	if e == nil {
+		e = &resEntry{}
+		c.m[host] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.ip, e.rec, e.err = ip, rec, err
+		e.done.Store(true)
+	})
+}
+
 // size reports how many hostnames (positive or negative) are cached.
 func (c *rescache) size() int {
 	c.mu.Lock()

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/fetch"
+	"repro/internal/govclass"
+	"repro/internal/metrics"
+	"repro/internal/probing"
+	"repro/internal/whois"
+)
+
+// hostTally is one hostname's share of a country's annotation pass:
+// how many resolutions the country issued for it and, when the
+// resolution failed, the failure classification. The counts are
+// deterministic (the candidate multiset is a pure function of the
+// seed); they feed the canonical cache attribution the checkpoint
+// stores.
+type hostTally struct {
+	lookups  int64
+	failKind string // "" = resolved
+}
+
+// countryDone is one finished country on its way into the merge sink:
+// either fresh from runCountry (fork carries its deterministic metric
+// contribution) or reloaded from a checkpoint (delta carries it).
+type countryDone struct {
+	code    string
+	stats   *dataset.CountryStats
+	records []dataset.URLRecord
+	methods map[govclass.URLMethod]int
+	hosts   map[string]*hostTally
+
+	fork   *metrics.Registry   // fresh country's attributable counters; nil when metrics are off
+	loaded *checkpoint.Country // set for resume-loaded countries
+
+	parked bool // sat in pending behind an earlier country
+}
+
+// anycastSeenKey keys the sink's anycast union set; anycast verdicts
+// are vantage-dependent, so the key mirrors the prober's.
+type anycastSeenKey struct {
+	vantage string
+	addr    netip.Addr
+}
+
+// mergeSink consumes completed countries and applies them to the
+// dataset in one fixed order — sorted country code — regardless of
+// completion order. A country completing out of turn parks in pending
+// (raising the records-in-flight gauge) until every earlier country
+// has flushed; the rank-0 country can never park, so the gauge's
+// high-water mark is strictly below the study's total record count.
+// Flushing appends records (already URL-sorted per country) in sorted
+// country order, so the dataset's record slice leaves the sink in its
+// canonical order without a final global sort.
+//
+// When a checkpoint store is attached, each fresh flush also persists
+// the country together with its deterministic metric delta: the fork's
+// directly-attributable counters plus a canonical share of the shared
+// caches, computed against the sink's union sets in store order (the
+// first stored country to touch a host/address owns its miss). The
+// deltas telescope — summed over any stored subset and combined with
+// the live counters of the re-run remainder, totals equal an
+// uninterrupted run's.
+type mergeSink struct {
+	env     *Env
+	ds      *dataset.Dataset
+	store   *checkpoint.Store
+	rank    map[string]int
+	pending []*countryDone
+	next    int
+
+	seenHosts map[string]bool
+	seenUni   map[netip.Addr]bool
+	seenAny   map[anycastSeenKey]bool
+}
+
+// newMergeSink builds a sink for the study's country set. The flush
+// order is the sorted code order, not the configured order, so the
+// dataset assembles identically however -countries was spelled.
+func newMergeSink(env *Env, ds *dataset.Dataset, store *checkpoint.Store, codes []string) *mergeSink {
+	sorted := append([]string(nil), codes...)
+	sort.Strings(sorted)
+	rank := make(map[string]int, len(sorted))
+	for i, code := range sorted {
+		rank[code] = i
+	}
+	return &mergeSink{
+		env: env, ds: ds, store: store,
+		rank:      rank,
+		pending:   make([]*countryDone, len(sorted)),
+		seenHosts: map[string]bool{},
+		seenUni:   map[netip.Addr]bool{},
+		seenAny:   map[anycastSeenKey]bool{},
+	}
+}
+
+// complete hands one finished country to the sink, flushing it and any
+// unblocked successors. Callers must serialise complete/drain calls
+// (Env.Run guards them with one mutex across the coordinator team).
+func (s *mergeSink) complete(d *countryDone) error {
+	r := s.rank[d.code]
+	s.pending[r] = d
+	if d.loaded != nil {
+		// The stored delta already claimed this country's share of the
+		// shared caches; mark its hosts and addresses in the union sets
+		// now — before any fresh country flushes — so a later
+		// generation's stored deltas cannot claim the same misses twice.
+		s.markLoaded(d.loaded)
+	}
+	if r != s.next && d.loaded == nil {
+		// Fresh completed work waiting on an earlier country is the
+		// memory the streaming bound is about; loaded countries are
+		// replays of already-persisted work, not new buffering.
+		d.parked = true
+		s.env.pipelineMetrics().RecordsInFlight(int64(len(d.records)))
+	}
+	for s.next < len(s.pending) && s.pending[s.next] != nil {
+		if err := s.flush(s.pending[s.next]); err != nil {
+			return err
+		}
+		s.pending[s.next] = nil
+		s.next++
+	}
+	return nil
+}
+
+// drain flushes every parked country in rank order, skipping gaps —
+// the cancellation path: countries that finished while later (in rank
+// order, earlier) ones were still crawling get persisted instead of
+// thrown away. Attribution stays canonical because the union sets
+// advance in the same store order a resuming run will see.
+func (s *mergeSink) drain() error {
+	for r := s.next; r < len(s.pending); r++ {
+		if s.pending[r] == nil {
+			continue
+		}
+		if err := s.flush(s.pending[r]); err != nil {
+			return err
+		}
+		s.pending[r] = nil
+	}
+	return nil
+}
+
+// markLoaded enters a reloaded country's hostnames and addresses into
+// the sink's union sets. Its stored delta owns their misses, so fresh
+// countries (and therefore their newly stored deltas) must see them as
+// already claimed.
+func (s *mergeSink) markLoaded(lc *checkpoint.Country) {
+	for i := range lc.Records {
+		r := &lc.Records[i]
+		s.seenHosts[r.Host] = true
+		if r.Anycast {
+			s.seenAny[anycastSeenKey{vantage: lc.Code, addr: r.IP}] = true
+		} else {
+			s.seenUni[r.IP] = true
+		}
+	}
+	for _, h := range lc.FailedHosts {
+		s.seenHosts[h.Host] = true
+	}
+}
+
+// flush applies one country to the dataset, absorbs its deterministic
+// metric contribution into the study registry, and — for fresh
+// countries with a store attached — persists it.
+//
+// The two paths feed the registry differently on purpose. A fresh
+// country adds only its fork: its shared-cache share was already
+// recorded live (the caches' ledgers stay attached to the study
+// registry in every run, and a seeded entry reads as a plain hit, so
+// live recording telescopes with loaded deltas by itself). A reloaded
+// country ran nothing live, so its stored delta — fork plus canonical
+// cache share — re-enters wholesale.
+func (s *mergeSink) flush(d *countryDone) error {
+	if d.parked {
+		s.env.pipelineMetrics().RecordsInFlight(-int64(len(d.records)))
+	}
+	s.ds.Records = append(s.ds.Records, d.records...)
+	s.ds.PerCountry[d.code] = d.stats
+	s.ds.MethodTLD += d.methods[govclass.MethodTLD]
+	s.ds.MethodDomain += d.methods[govclass.MethodDomain]
+	s.ds.MethodSAN += d.methods[govclass.MethodSAN]
+	s.ds.Discarded += d.methods[govclass.MethodDiscarded]
+
+	if d.loaded != nil {
+		// A reloaded country's shared-cache work was already canonical
+		// when stored; its delta re-enters wholesale. (Seeding happened
+		// before the workers started, metric-free.)
+		s.env.metrics.AddDeterministic(d.loaded.Delta)
+	} else {
+		if d.fork != nil {
+			s.env.metrics.AddDeterministic(d.fork.Snapshot().Deterministic)
+		}
+		if s.store != nil {
+			cp := checkpoint.Country{
+				Code:    d.code,
+				Stats:   d.stats,
+				Records: d.records,
+				Delta:   s.canonicalDelta(d),
+			}
+			if len(d.methods) > 0 {
+				cp.Methods = make(map[string]int, len(d.methods))
+				for m, n := range d.methods {
+					cp.Methods[string(m)] = n
+				}
+			}
+			for _, h := range sortedHostKeys(d.hosts) {
+				if t := d.hosts[h]; t.failKind != "" {
+					cp.FailedHosts = append(cp.FailedHosts, checkpoint.HostOutcome{Host: h, FailKind: t.failKind})
+				}
+			}
+			if err := s.store.Put(cp); err != nil {
+				return err
+			}
+		}
+	}
+	if s.env.afterFlush != nil {
+		s.env.afterFlush(d.code)
+	}
+	return nil
+}
+
+// canonicalDelta is the country's full deterministic contribution: the
+// fork's directly-attributable counters (scheduler items, fetches,
+// retries, fetch-kind and egress-flap injections, frontier, pipeline
+// rows) plus its canonical share of the shared resolution and
+// geolocation caches. The shared share is what the live study registry
+// recorded during the crawl only in aggregate — here it is re-derived
+// per country against the sink's union sets, so stored deltas sum to
+// the aggregate no matter which subset is stored.
+func (s *mergeSink) canonicalDelta(d *countryDone) metrics.Deterministic {
+	var delta metrics.Deterministic
+	if d.fork != nil {
+		delta = d.fork.Snapshot().Deterministic
+	}
+
+	replayDNS := s.env.Faults != nil && s.env.Faults.Profile.DNSServfail > 0
+	for _, h := range sortedHostKeys(d.hosts) {
+		t := d.hosts[h]
+		delta.Cache.Lookups += t.lookups
+		if !s.seenHosts[h] {
+			s.seenHosts[h] = true
+			delta.Cache.Misses++
+			delta.Cache.Hits += t.lookups - 1
+			if t.failKind != "" {
+				delta.Cache.NegativeEntries++
+				delta.Cache.NegativeHits += t.lookups - 1
+			}
+			if replayDNS {
+				// The study-wide resolver recorded this host's SERVFAIL
+				// injections live; the rolls are stateless hashes of
+				// (host, attempt), so the owning country's delta replays
+				// them exactly.
+				if n := s.dnsInjectionsFor(h); n > 0 {
+					if delta.Faults.Injections == nil {
+						delta.Faults.Injections = map[string]int64{}
+					}
+					delta.Faults.Injections[string(faults.KindServfail)] += n
+				}
+			}
+		} else {
+			delta.Cache.Hits += t.lookups
+			if t.failKind != "" {
+				delta.Cache.NegativeHits += t.lookups
+			}
+		}
+	}
+
+	if !s.env.Config.TrustIPInfo {
+		s.addGeoDelta(d, &delta)
+	}
+	return delta
+}
+
+// addGeoDelta attributes the country's share of the geolocation
+// verdict caches, reconstructed from its records: every record issued
+// exactly one verdict lookup, keyed by address (unicast) or by
+// (vantage, address) (anycast), negative when the verdict is UR/EX.
+func (s *mergeSink) addGeoDelta(d *countryDone, delta *metrics.Deterministic) {
+	type tally struct {
+		lookups  int64
+		negative bool
+	}
+	uni := map[netip.Addr]*tally{}
+	anyc := map[netip.Addr]*tally{}
+	for i := range d.records {
+		r := &d.records[i]
+		m := uni
+		if r.Anycast {
+			m = anyc
+		}
+		t := m[r.IP]
+		if t == nil {
+			t = &tally{}
+			m[r.IP] = t
+		}
+		t.lookups++
+		t.negative = r.GeoMethod == string(probing.MethodUnresolved) || r.GeoMethod == string(probing.MethodExcluded)
+	}
+	fold := func(c *metrics.CacheCounters, m map[netip.Addr]*tally, seen func(netip.Addr) bool) {
+		addrs := make([]netip.Addr, 0, len(m))
+		for a := range m {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+		for _, a := range addrs {
+			t := m[a]
+			c.Lookups += t.lookups
+			if !seen(a) {
+				c.Misses++
+				c.Hits += t.lookups - 1
+				if t.negative {
+					c.NegativeEntries++
+					c.NegativeHits += t.lookups - 1
+				}
+			} else {
+				c.Hits += t.lookups
+				if t.negative {
+					c.NegativeHits += t.lookups
+				}
+			}
+		}
+	}
+	fold(&delta.Geo.Unicast, uni, func(a netip.Addr) bool {
+		if s.seenUni[a] {
+			return true
+		}
+		s.seenUni[a] = true
+		return false
+	})
+	fold(&delta.Geo.Anycast, anyc, func(a netip.Addr) bool {
+		k := anycastSeenKey{vantage: d.code, addr: a}
+		if s.seenAny[k] {
+			return true
+		}
+		s.seenAny[k] = true
+		return false
+	})
+}
+
+// dnsInjectionsFor replays the resolver's per-attempt fault rolls for
+// one hostname — the same loop faultyResolve runs, counting the
+// injected SERVFAILs before the first clean attempt.
+func (s *mergeSink) dnsInjectionsFor(host string) int64 {
+	var n int64
+	for attempt := 0; attempt < resolveAttempts; attempt++ {
+		if s.env.Faults.DNSFault(host, attempt) != nil {
+			n++
+			continue
+		}
+		break
+	}
+	return n
+}
+
+// seedFromCheckpoint replays one stored country's shared-cache
+// outcomes without recording any metric events: resolutions (positive
+// from the records, negative from the failed-host list) and
+// geolocation verdicts. The metric side arrives separately, through
+// the stored delta, so a resumed run's ledger matches an uninterrupted
+// one's.
+func (env *Env) seedFromCheckpoint(c *checkpoint.Country) {
+	for i := range c.Records {
+		r := &c.Records[i]
+		env.resolutions.seed(r.Host, r.IP, whois.Record{ASN: r.ASN, Org: r.Org, Country: r.RegCountry}, nil)
+		if env.Config.TrustIPInfo {
+			continue
+		}
+		// IPInfoCountry and MinRTT are not in the record, so the seeded
+		// verdict drops them — nothing downstream of the cache reads
+		// either field.
+		v := probing.Verdict{
+			Addr: r.IP, Anycast: r.Anycast,
+			Country: r.ServeCountry, Method: probing.Method(r.GeoMethod),
+		}
+		if r.Anycast {
+			env.Prober.SeedAnycast(r.Country, r.IP, v)
+		} else {
+			env.Prober.SeedUnicast(r.IP, v)
+		}
+	}
+	for _, h := range c.FailedHosts {
+		env.resolutions.seed(h.Host, netip.Addr{}, whois.Record{}, seededErr{kind: fetch.FailKind(h.FailKind)})
+	}
+}
+
+// seededErr replays a checkpointed resolution failure. It implements
+// fetch.Failure, so fetch.ClassifyError round-trips the stored kind
+// exactly and a resuming country's coverage stats classify the failure
+// the same way the original run did.
+type seededErr struct{ kind fetch.FailKind }
+
+func (e seededErr) Error() string {
+	return "core: resolution failed in checkpointed run (" + string(e.kind) + ")"
+}
+
+// FailKind implements fetch.Failure.
+func (e seededErr) FailKind() fetch.FailKind { return e.kind }
+
+// sortedHostKeys returns the tally map's hostnames sorted, so the
+// union-set walk — and therefore the stored attribution — is
+// deterministic.
+func sortedHostKeys(m map[string]*hostTally) []string {
+	out := make([]string, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -37,7 +37,9 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sche
 		cr := &crawler.Crawler{
 			// The baseline rides the same fault/retry stack as the
 			// government crawls, so chaos runs degrade it identically.
-			Fetcher: env.fetchStack(vp.Fetcher, pool),
+			// Topsites are never checkpointed, so their accounting goes
+			// straight to the study registry, not a fork.
+			Fetcher: env.fetchStack(vp.Fetcher, pool, env.fetchMetrics(), env.faultMetrics()),
 			Config: crawler.Config{
 				MaxDepth: 1, // §5.1: top-site scraping stops one level down
 				Country:  code,
@@ -59,7 +61,7 @@ func (env *Env) runTopsites(ctx context.Context, ds *dataset.Dataset, pool *sche
 			if site == nil || site.Kind != webgen.KindTopsite {
 				continue
 			}
-			rec, err := env.annotate(c, entry)
+			rec, err := env.annotate(c, entry, env.pipelineMetrics())
 			if err != nil {
 				continue
 			}

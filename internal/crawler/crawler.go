@@ -49,6 +49,11 @@ type Crawler struct {
 	// Admission happens single-threaded between levels on sorted URL
 	// lists, so every count here is deterministic.
 	Metrics *metrics.CrawlMetrics
+	// Sched, when non-nil, receives this crawl's deterministic item
+	// counts instead of the shared pool's study-wide metrics — the seam
+	// that lets one country's scheduler contribution be checkpointed
+	// separately. Runtime queue accounting stays on the pool either way.
+	Sched *metrics.SchedMetrics
 }
 
 // task is one URL scheduled for fetching.
@@ -124,7 +129,7 @@ func (c *Crawler) Crawl(ctx context.Context, landings []string) (*har.Archive, e
 			results = results[:len(frontier)]
 			clear(results)
 		}
-		pool.Each(ctx, len(frontier), func(i int) {
+		pool.EachWith(ctx, len(frontier), c.Sched, func(i int) {
 			results[i].entry, results[i].links = c.fetchOne(ctx, frontier[i], maxDepth)
 			results[i].ok = true
 		})

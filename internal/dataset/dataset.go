@@ -130,6 +130,87 @@ type Dataset struct {
 	Seed  int64
 }
 
+// SortRecords orders records deterministically (by country, then URL).
+// sort.Slice, not slices.SortFunc: the generic sort copies whole
+// records around while the reflect-based one swaps in place, and at
+// ~230 bytes per record the copies dominate.
+func SortRecords(recs []URLRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Country != recs[j].Country {
+			return recs[i].Country < recs[j].Country
+		}
+		return recs[i].URL < recs[j].URL
+	})
+}
+
+// FillTotals computes the Table 3 aggregate statistics from the
+// records and per-country stats, and sorts both record slices into
+// their canonical order. Call it once, after assembly: the totals add
+// onto whatever is already present.
+func (d *Dataset) FillTotals() {
+	hosts := map[string]bool{}
+	ips := map[netip.Addr]bool{}
+	anycastIPs := map[netip.Addr]bool{}
+	asns := map[int]bool{}
+	govASNs := map[int]bool{}
+	serveCountries := map[string]bool{}
+	urls := map[string]bool{}
+
+	for i := range d.Records {
+		r := &d.Records[i]
+		urls[r.URL] = true
+		hosts[r.Host] = true
+		ips[r.IP] = true
+		asns[r.ASN] = true
+		if r.GovAS {
+			govASNs[r.ASN] = true
+		}
+		if r.Anycast {
+			anycastIPs[r.IP] = true
+		}
+		if r.ServeCountry != "" {
+			serveCountries[r.ServeCountry] = true
+		}
+	}
+	// Reset the summed fields so FillTotals is idempotent — it runs
+	// once after a live pipeline and once after a load, and a caller
+	// doing both (load, then fill again) must not double-count.
+	d.TotalLanding, d.TotalInternal = 0, 0
+	d.TotalAttempted, d.TotalFailedURLs, d.TotalRetries = 0, 0, 0
+	d.FailuresByKind = nil
+	d.FailedCountries = nil
+
+	//lint:ignore map-order -- the per-country sums commute and FailedCountries is sorted below
+	for _, st := range d.PerCountry {
+		d.TotalLanding += st.LandingURLs
+		d.TotalInternal += st.InternalURLs
+		d.TotalAttempted += st.Attempted
+		d.TotalFailedURLs += st.FailedURLs
+		d.TotalRetries += st.Retries
+		//lint:ignore map-order -- per-kind sums commute
+		for kind, n := range st.Failures {
+			if d.FailuresByKind == nil {
+				d.FailuresByKind = map[string]int{}
+			}
+			d.FailuresByKind[kind] += n
+		}
+		if st.Failed {
+			d.FailedCountries = append(d.FailedCountries, st.Country)
+		}
+	}
+	sort.Strings(d.FailedCountries)
+	d.TotalUniqueURLs = len(urls)
+	d.TotalHostnames = len(hosts)
+	d.UniqueIPs = len(ips)
+	d.AnycastIPs = len(anycastIPs)
+	d.ASes = len(asns)
+	d.GovASes = len(govASNs)
+	d.ServerCountries = len(serveCountries)
+
+	SortRecords(d.Records)
+	SortRecords(d.Topsites)
+}
+
 // CountriesWithRecords returns the sorted country codes present in the
 // government records.
 func (d *Dataset) CountriesWithRecords() []string {

@@ -23,20 +23,35 @@ import (
 	"repro/internal/world"
 )
 
-// FormatVersion identifies the interchange format. Version 2 added
-// per-country coverage statistics lines (kind "country"); version 1
-// files still load, with empty PerCountry.
-const FormatVersion = 2
+// FormatVersion identifies the interchange format. Version 3 moved the
+// record/topsite/country counts from the header to a trailing trailer
+// line, so a writer can stream records as they become available
+// without knowing the totals up front — truncation detection now rests
+// on the trailer's presence. Version 2 added per-country coverage
+// statistics lines (kind "country"); version 1 and 2 files still load,
+// with counts checked against their headers.
+const FormatVersion = 3
 
-// header is the first line of a JSONL export.
+// header is the first line of a JSONL export. The count fields are
+// only written by pre-v3 files; v3 moved them to the trailer.
 type header struct {
 	Format    string  `json:"format"`
 	Version   int     `json:"version"`
 	Seed      int64   `json:"seed"`
 	Scale     float64 `json:"scale"`
-	Records   int     `json:"records"`
-	Topsite   int     `json:"topsites"`
+	Records   int     `json:"records,omitempty"`
+	Topsite   int     `json:"topsites,omitempty"`
 	Countries int     `json:"countries,omitempty"`
+}
+
+// trailer is the last line of a v3 JSONL export: the counts a reader
+// checks to detect truncation. A v3 file without a trailer is
+// truncated by definition.
+type trailer struct {
+	Kind      string `json:"kind"` // "trailer"
+	Records   int    `json:"records"`
+	Topsite   int    `json:"topsites"`
+	Countries int    `json:"countries"`
 }
 
 // jsonCountryStats is the wire form of one country's statistics,
@@ -131,42 +146,130 @@ func fromWire(w *jsonRecord) (dataset.URLRecord, error) {
 	return r, nil
 }
 
+// Sink writes a JSONL export incrementally: the header goes out at
+// construction, record batches stream as they arrive (no whole-dataset
+// buffer), per-country statistics are buffered and emitted in sorted
+// code order at Close, and the trailer seals the file. Byte output is
+// a pure function of the data written — interleaving WriteRecords
+// batches differently produces the same bytes as one batch, which is
+// what makes the sink's output identical to WriteJSONL's for the same
+// dataset. Writes after the first error return that error; a Sink is
+// not safe for concurrent use.
+type Sink struct {
+	bw       *bufio.Writer
+	enc      *json.Encoder
+	records  int
+	topsites int
+	stats    []jsonCountryStats
+	closed   bool
+	err      error
+}
+
+// NewSink starts a JSONL export on w with the study metadata header.
+func NewSink(w io.Writer, seed int64, scale float64) (*Sink, error) {
+	bw := bufio.NewWriter(w)
+	s := &Sink{bw: bw, enc: json.NewEncoder(bw)}
+	s.err = s.enc.Encode(header{
+		Format: "govhost-dataset", Version: FormatVersion,
+		Seed: seed, Scale: scale,
+	})
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
+// WriteRecords streams one batch of government records.
+func (s *Sink) WriteRecords(recs []dataset.URLRecord) error {
+	return s.writeBatch(recs, "gov", &s.records)
+}
+
+// WriteTopsites streams one batch of topsite comparison records. The
+// format puts topsites after all government records; the sink trusts
+// the caller's ordering (WriteJSONL and the pipeline both satisfy it).
+func (s *Sink) WriteTopsites(recs []dataset.URLRecord) error {
+	return s.writeBatch(recs, "topsite", &s.topsites)
+}
+
+func (s *Sink) writeBatch(recs []dataset.URLRecord, kind string, n *int) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		s.err = fmt.Errorf("export: write after Close")
+		return s.err
+	}
+	for i := range recs {
+		if s.err = s.enc.Encode(toWire(&recs[i], kind)); s.err != nil {
+			return s.err
+		}
+		*n++
+	}
+	return nil
+}
+
+// WriteCountry buffers one country's coverage statistics; Close emits
+// them in sorted code order so equal datasets serialise to equal bytes
+// regardless of completion order.
+func (s *Sink) WriteCountry(st *dataset.CountryStats) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		s.err = fmt.Errorf("export: write after Close")
+		return s.err
+	}
+	s.stats = append(s.stats, statsToWire(st))
+	return nil
+}
+
+// Close emits the buffered country statistics and the trailer, then
+// flushes. The sink is unusable afterwards.
+func (s *Sink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	sort.Slice(s.stats, func(i, j int) bool { return s.stats[i].Country < s.stats[j].Country })
+	for i := range s.stats {
+		if s.err = s.enc.Encode(s.stats[i]); s.err != nil {
+			return s.err
+		}
+	}
+	if s.err = s.enc.Encode(trailer{
+		Kind: "trailer", Records: s.records, Topsite: s.topsites, Countries: len(s.stats),
+	}); s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
 // WriteJSONL streams the dataset as JSON lines: a header object, one
 // record object per line, then one coverage-statistics object per
-// country in sorted code order (so equal datasets serialise to equal
-// bytes).
+// country in sorted code order, sealed by the trailer (so equal
+// datasets serialise to equal bytes). It is the one-shot form of Sink.
 func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(header{
-		Format: "govhost-dataset", Version: FormatVersion,
-		Seed: ds.Seed, Scale: ds.Scale,
-		Records: len(ds.Records), Topsite: len(ds.Topsites),
-		Countries: len(ds.PerCountry),
-	}); err != nil {
+	s, err := NewSink(w, ds.Seed, ds.Scale)
+	if err != nil {
 		return err
 	}
-	for i := range ds.Records {
-		if err := enc.Encode(toWire(&ds.Records[i], "gov")); err != nil {
+	if err := s.WriteRecords(ds.Records); err != nil {
+		return err
+	}
+	if err := s.WriteTopsites(ds.Topsites); err != nil {
+		return err
+	}
+	//lint:ignore map-order -- WriteCountry buffers; Close sorts by country code before emitting, so arrival order cannot reach the output bytes
+	for _, st := range ds.PerCountry {
+		if err := s.WriteCountry(st); err != nil {
 			return err
 		}
 	}
-	for i := range ds.Topsites {
-		if err := enc.Encode(toWire(&ds.Topsites[i], "topsite")); err != nil {
-			return err
-		}
-	}
-	codes := make([]string, 0, len(ds.PerCountry))
-	for code := range ds.PerCountry {
-		codes = append(codes, code)
-	}
-	sort.Strings(codes)
-	for _, code := range codes {
-		if err := enc.Encode(statsToWire(ds.PerCountry[code])); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return s.Close()
 }
 
 // maxLine bounds one JSONL line; URL records are a few hundred bytes,
@@ -200,8 +303,12 @@ func ReadJSONL(r io.Reader) (*dataset.Dataset, error) {
 		Seed: h.Seed, Scale: h.Scale,
 		PerCountry: map[string]*dataset.CountryStats{},
 	}
+	var tr *trailer
 	for sc.Scan() {
 		line := sc.Bytes()
+		if tr != nil {
+			return nil, fmt.Errorf("export: content after trailer")
+		}
 		var probe struct {
 			Kind string `json:"kind"`
 		}
@@ -221,6 +328,12 @@ func ReadJSONL(r io.Reader) (*dataset.Dataset, error) {
 				return nil, err
 			}
 			ds.Topsites = append(ds.Topsites, rec)
+		case "trailer":
+			var t trailer
+			if err := json.Unmarshal(line, &t); err != nil {
+				return nil, fmt.Errorf("export: trailer: %w", err)
+			}
+			tr = &t
 		default:
 			rec, err := recordFromLine(line)
 			if err != nil {
@@ -232,13 +345,22 @@ func ReadJSONL(r io.Reader) (*dataset.Dataset, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("export: %w", err)
 	}
-	if len(ds.Records) != h.Records || len(ds.Topsites) != h.Topsite {
-		return nil, fmt.Errorf("export: truncated dataset: %d/%d records, %d/%d topsites",
-			len(ds.Records), h.Records, len(ds.Topsites), h.Topsite)
+	wantRecords, wantTopsites, wantCountries := h.Records, h.Topsite, h.Countries
+	if h.Version >= 3 {
+		// v3 carries its counts in the trailer; a missing trailer is the
+		// truncation signal a killed writer leaves behind.
+		if tr == nil {
+			return nil, fmt.Errorf("export: truncated dataset: no trailer")
+		}
+		wantRecords, wantTopsites, wantCountries = tr.Records, tr.Topsite, tr.Countries
 	}
-	if h.Version >= 2 && len(ds.PerCountry) != h.Countries {
+	if len(ds.Records) != wantRecords || len(ds.Topsites) != wantTopsites {
+		return nil, fmt.Errorf("export: truncated dataset: %d/%d records, %d/%d topsites",
+			len(ds.Records), wantRecords, len(ds.Topsites), wantTopsites)
+	}
+	if h.Version >= 2 && len(ds.PerCountry) != wantCountries {
 		return nil, fmt.Errorf("export: truncated dataset: %d/%d country stats",
-			len(ds.PerCountry), h.Countries)
+			len(ds.PerCountry), wantCountries)
 	}
 	return ds, nil
 }

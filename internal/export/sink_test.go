@@ -1,0 +1,149 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+// sinkDataset extends the sample fixture with per-country statistics,
+// so the sink's stats buffering is exercised too.
+func sinkDataset() *dataset.Dataset {
+	ds := sampleDataset()
+	ds.PerCountry = map[string]*dataset.CountryStats{
+		"UY": {Country: "UY", Region: world.LAC, LandingURLs: 1, InternalURLs: 4, Attempted: 6, Hostnames: 2},
+		"MX": {Country: "MX", Region: world.LAC, LandingURLs: 1, InternalURLs: 3, Attempted: 5, Hostnames: 1,
+			FailedURLs: 1, Failures: map[string]int{"timeout": 1}},
+	}
+	return ds
+}
+
+// TestSinkMatchesWriteJSONL is the streaming guarantee at the export
+// layer: feeding the sink incrementally — whatever the batch sizes and
+// whatever order records, topsites and stats arrive in — produces the
+// same bytes as the one-shot writer.
+func TestSinkMatchesWriteJSONL(t *testing.T) {
+	ds := sinkDataset()
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	feeds := []struct {
+		name string
+		feed func(s *Sink) error
+	}{
+		{"one batch", func(s *Sink) error {
+			if err := s.WriteRecords(ds.Records); err != nil {
+				return err
+			}
+			if err := s.WriteCountry(ds.PerCountry["MX"]); err != nil {
+				return err
+			}
+			if err := s.WriteCountry(ds.PerCountry["UY"]); err != nil {
+				return err
+			}
+			return s.WriteTopsites(ds.Topsites)
+		}},
+		{"record at a time, stats first and unsorted", func(s *Sink) error {
+			// Stats arrive before any record and in reverse code order:
+			// the sink must still emit them sorted, after the records.
+			if err := s.WriteCountry(ds.PerCountry["UY"]); err != nil {
+				return err
+			}
+			if err := s.WriteCountry(ds.PerCountry["MX"]); err != nil {
+				return err
+			}
+			for i := range ds.Records {
+				if err := s.WriteRecords(ds.Records[i : i+1]); err != nil {
+					return err
+				}
+			}
+			if err := s.WriteRecords(nil); err != nil { // empty batch is a no-op
+				return err
+			}
+			return s.WriteTopsites(ds.Topsites)
+		}},
+		{"stats interleaved with record batches", func(s *Sink) error {
+			if err := s.WriteRecords(ds.Records[:1]); err != nil {
+				return err
+			}
+			if err := s.WriteCountry(ds.PerCountry["MX"]); err != nil {
+				return err
+			}
+			if err := s.WriteRecords(ds.Records[1:]); err != nil {
+				return err
+			}
+			if err := s.WriteCountry(ds.PerCountry["UY"]); err != nil {
+				return err
+			}
+			return s.WriteTopsites(ds.Topsites)
+		}},
+	}
+	for _, f := range feeds {
+		var got bytes.Buffer
+		s, err := NewSink(&got, ds.Seed, ds.Scale)
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if err := f.feed(s); err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", f.name, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s: sink bytes diverge from WriteJSONL", f.name)
+		}
+	}
+}
+
+func TestSinkRejectsWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewSink(&buf, 42, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("idempotent Close: %v", err)
+	}
+	if err := s.WriteRecords(sampleDataset().Records); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+}
+
+// TestReadJSONLRejectsTruncation: a version-3 file that stops mid-way
+// (kill during export) has no trailer and must not load as a complete
+// dataset — the trailer carries the completeness proof the up-front
+// header counts used to provide.
+func TestReadJSONLRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sinkDataset()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for cut := 1; cut < len(lines); cut++ {
+		truncated := strings.Join(lines[:cut], "\n") + "\n"
+		if _, err := ReadJSONL(strings.NewReader(truncated)); err == nil {
+			t.Errorf("dataset cut after %d/%d lines loaded cleanly", cut, len(lines))
+		}
+	}
+}
+
+func TestReadJSONLRejectsContentAfterTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sinkDataset()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"kind":"record"}` + "\n")
+	_, err := ReadJSONL(&buf)
+	if err == nil || !strings.Contains(err.Error(), "after trailer") {
+		t.Fatalf("content after trailer: err = %v", err)
+	}
+}

@@ -24,22 +24,23 @@ func DefaultRules() []Rule {
 // packages join the invariant by being added here — or by carrying a
 // //lint:deterministic tag in any of their files.
 var deterministicPkgs = map[string]bool{
-	"repro":                   true, // experiment reports and the Study facade
-	"repro/internal/world":    true,
-	"repro/internal/webgen":   true,
-	"repro/internal/dataset":  true,
-	"repro/internal/export":   true,
-	"repro/internal/report":   true,
-	"repro/internal/metrics":  true, // the deterministic snapshot half is golden-compared
-	"repro/internal/rng":      true,
-	"repro/internal/analysis": true,
-	"repro/internal/stats":    true,
-	"repro/internal/cluster":  true,
-	"repro/internal/govclass": true,
-	"repro/internal/har":      true,
-	"repro/internal/geo":      true,
-	"repro/internal/probing":  true, // verdicts and the verdict caches feed golden Table 4
-	"repro/internal/netsim":   true, // ping geometry memo must preserve bit-identical RTTs
+	"repro":                     true, // experiment reports and the Study facade
+	"repro/internal/world":      true,
+	"repro/internal/webgen":     true,
+	"repro/internal/dataset":    true,
+	"repro/internal/export":     true,
+	"repro/internal/report":     true,
+	"repro/internal/metrics":    true, // the deterministic snapshot half is golden-compared
+	"repro/internal/checkpoint": true, // stored bytes must be seed-deterministic for resume identity
+	"repro/internal/rng":        true,
+	"repro/internal/analysis":   true,
+	"repro/internal/stats":      true,
+	"repro/internal/cluster":    true,
+	"repro/internal/govclass":   true,
+	"repro/internal/har":        true,
+	"repro/internal/geo":        true,
+	"repro/internal/probing":    true, // verdicts and the verdict caches feed golden Table 4
+	"repro/internal/netsim":     true, // ping geometry memo must preserve bit-identical RTTs
 }
 
 // goAllowedPkgs may start goroutines directly: the scheduler itself,

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAddDeterministicRoundTrip is the telescoping property the
+// checkpoint deltas rely on: recording events live and replaying the
+// resulting deterministic snapshot into a fresh registry must land on
+// the same deterministic snapshot, for every counter family.
+func TestAddDeterministicRoundTrip(t *testing.T) {
+	r := New()
+	r.Sched.ItemsScheduled.Add(9)
+	r.Sched.ItemsRun.Add(9)
+
+	r.Cache.Lookups.Add(10)
+	r.Cache.Hits.Add(7)
+	r.Cache.Misses.Add(3)
+	r.Cache.NegativeEntries.Inc()
+	r.Cache.NegativeHits.Add(2)
+	r.Geo.Unicast.Lookups.Add(4)
+	r.Geo.Unicast.Hits.Add(3)
+	r.Geo.Unicast.Misses.Inc()
+	r.Geo.Anycast.Lookups.Add(2)
+	r.Geo.Anycast.Misses.Add(2)
+	r.Geo.Anycast.NegativeEntries.Inc()
+
+	r.Fetch.RecordAttempt()
+	r.Fetch.RecordAttempt()
+	r.Fetch.RecordRetry("timeout")
+	r.Faults.Inject("reset")
+	r.Faults.Inject("reset")
+	r.Faults.Inject("servfail")
+
+	r.Crawl.RecordLevel(0, 3, 1)
+	r.Crawl.RecordLevel(2, 5, 0)
+	r.Crawl.RecordLevel(99, 2, 0) // clamps into the deepest bucket
+
+	r.Pipeline.RecordAnnotation()
+	r.Pipeline.RecordCountry("US", CountryCounters{
+		Attempted: 12, Records: 9, Failures: 2, Discarded: 1,
+		Retries: 1, VantageAttempts: 1,
+	}, false, map[string]int{"timeout": 2})
+	r.Pipeline.RecordCountry("ZZ", CountryCounters{VantageAttempts: 3}, true, nil)
+
+	want, err := r.Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay := New()
+	replay.AddDeterministic(r.Snapshot().Deterministic)
+	got, err := replay.Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("replayed deterministic snapshot diverged:\nwant %s\ngot  %s", want, got)
+	}
+
+	// Deltas are additive: replaying twice doubles every counter.
+	replay.AddDeterministic(r.Snapshot().Deterministic)
+	d := replay.Snapshot().Deterministic
+	if d.Cache.Lookups != 20 || d.Fetch.Retries != 2 || d.Pipeline.CountriesRun != 4 {
+		t.Fatalf("second replay did not add: %+v", d)
+	}
+}
+
+// TestRecordsInFlightGauge covers the streaming memory bound's
+// instrument: the gauge tracks parked record counts and its high-water
+// mark survives into the runtime snapshot.
+func TestRecordsInFlightGauge(t *testing.T) {
+	r := New()
+	r.Pipeline.RecordsInFlight(5)
+	r.Pipeline.RecordsInFlight(3)
+	r.Pipeline.RecordsInFlight(-5)
+	r.Pipeline.RecordsInFlight(4)
+	r.Pipeline.RecordsInFlight(-7)
+
+	if got := r.Pipeline.InFlight.Value(); got != 0 {
+		t.Fatalf("gauge value = %d, want 0 after all flushes", got)
+	}
+	snap := r.Snapshot()
+	if got := snap.Runtime.Pipeline.RecordsInFlightHighWater; got != 8 {
+		t.Fatalf("high water = %d, want 8", got)
+	}
+
+	// Nil-safe like every other recording method: a disabled registry
+	// must not panic the sink.
+	var pm *PipelineMetrics
+	pm.RecordsInFlight(3)
+}

@@ -342,6 +342,18 @@ func (m *CrawlMetrics) RecordLevel(depth int, admitted, truncated int64) {
 	m.depths[depth].Add(admitted)
 }
 
+// addURLsByDepth folds a snapshot's per-depth admission counts back
+// into the live counters — the inverse of urlsByDepth, used when a
+// checkpointed country's deterministic contribution is replayed.
+func (m *CrawlMetrics) addURLsByDepth(urls []int64) {
+	for depth, n := range urls {
+		if depth >= maxDepthTrack {
+			depth = maxDepthTrack - 1
+		}
+		m.depths[depth].Add(n)
+	}
+}
+
 // urlsByDepth trims the per-depth counters to the deepest nonzero
 // level.
 func (m *CrawlMetrics) urlsByDepth() []int64 {
@@ -398,10 +410,26 @@ type PipelineMetrics struct {
 	CountriesRun    Counter // countries the pipeline processed
 	CountriesFailed Counter // countries with no validated vantage
 
+	// Runtime: records buffered in the merge sink waiting for an
+	// earlier country to finish. Which countries park depends on worker
+	// interleaving, so the high-water mark is a runtime observation —
+	// but its bound (strictly below the study's total record count) is
+	// the streaming-assembly guarantee.
+	InFlight Gauge
+
 	mu        sync.Mutex
 	countries map[string]CountryCounters
 	timings   map[string]CountryTimings
 	stages    map[string]*Histogram
+}
+
+// RecordsInFlight moves the records-in-flight level by delta: positive
+// when a completed country's records park in the merge sink, negative
+// when they flush into the dataset. Nil-safe.
+func (m *PipelineMetrics) RecordsInFlight(delta int64) {
+	if m != nil {
+		m.InFlight.Add(delta)
+	}
 }
 
 // RecordAnnotation counts one annotate call. Nil-safe.
@@ -467,6 +495,69 @@ func (m *PipelineMetrics) ObserveStage(stage string, d time.Duration) {
 	}
 	m.mu.Unlock()
 	h.Observe(d)
+}
+
+// AddDeterministic folds a frozen deterministic snapshot into the live
+// registry. This is how checkpointed work re-enters the ledger: a
+// resumed run loads each stored country's contribution and adds it
+// here instead of re-measuring, and a streaming run absorbs each
+// country's fork registry at flush time. Counter adds commute, so the
+// result is independent of the order contributions arrive — the
+// property the byte-identical-resume contract leans on. Nil-safe.
+func (r *Registry) AddDeterministic(d Deterministic) {
+	if r == nil {
+		return
+	}
+	r.Sched.ItemsScheduled.Add(d.Sched.ItemsScheduled)
+	r.Sched.ItemsRun.Add(d.Sched.ItemsRun)
+
+	addCache := func(m *CacheMetrics, c CacheCounters) {
+		m.Lookups.Add(c.Lookups)
+		m.Hits.Add(c.Hits)
+		m.Misses.Add(c.Misses)
+		m.NegativeEntries.Add(c.NegativeEntries)
+		m.NegativeHits.Add(c.NegativeHits)
+	}
+	addCache(&r.Cache, d.Cache)
+	addCache(&r.Geo.Unicast, d.Geo.Unicast)
+	addCache(&r.Geo.Anycast, d.Geo.Anycast)
+
+	r.Fetch.Attempts.Add(d.Fetch.Attempts)
+	r.Fetch.Retries.Add(d.Fetch.Retries)
+	//lint:ignore map-order -- Vec.Add is a keyed atomic increment; per-kind adds commute, and the snapshot renders kinds sorted
+	for kind, n := range d.Fetch.RetriesByKind {
+		r.Fetch.RetriesByKind.Add(kind, n)
+	}
+	//lint:ignore map-order -- Vec.Add is a keyed atomic increment; per-kind adds commute, and the snapshot renders kinds sorted
+	for kind, n := range d.Faults.Injections {
+		r.Faults.Injections.Add(kind, n)
+	}
+
+	r.Crawl.FrontierAdmitted.Add(d.Crawl.FrontierAdmitted)
+	r.Crawl.FrontierTruncated.Add(d.Crawl.FrontierTruncated)
+	r.Crawl.addURLsByDepth(d.Crawl.URLsByDepth)
+
+	p := &r.Pipeline
+	p.Annotations.Add(d.Pipeline.Annotations)
+	p.Records.Add(d.Pipeline.Records)
+	p.Failures.Add(d.Pipeline.Failures)
+	//lint:ignore map-order -- Vec.Add is a keyed atomic increment; per-kind adds commute, and the snapshot renders kinds sorted
+	for kind, n := range d.Pipeline.FailuresByKind {
+		p.FailuresByKind.Add(kind, n)
+	}
+	p.CountriesRun.Add(d.Pipeline.CountriesRun)
+	p.CountriesFailed.Add(d.Pipeline.CountriesFailed)
+	if len(d.Pipeline.Countries) > 0 {
+		p.mu.Lock()
+		if p.countries == nil {
+			p.countries = make(map[string]CountryCounters)
+		}
+		//lint:ignore map-order -- each country key is stored at most once per run; map writes to distinct keys commute
+		for code, c := range d.Pipeline.Countries {
+			p.countries[code] = c
+		}
+		p.mu.Unlock()
+	}
 }
 
 func (m *PipelineMetrics) countrySnapshots() map[string]CountryCounters {

@@ -91,6 +91,7 @@ type Runtime struct {
 	Cache     CacheRuntime                 `json:"cache"`
 	Geo       GeoRuntime                   `json:"geo"`
 	Fetch     FetchRuntime                 `json:"fetch"`
+	Pipeline  PipelineRuntime              `json:"pipeline"`
 	Stages    map[string]HistogramSnapshot `json:"stages,omitempty"`
 	Countries map[string]CountryTimings    `json:"countries,omitempty"`
 }
@@ -118,6 +119,15 @@ type GeoRuntime struct {
 // FetchRuntime is the budget-race slice.
 type FetchRuntime struct {
 	BudgetDenied int64 `json:"budget_denied"`
+}
+
+// PipelineRuntime is the merge-sink occupancy slice: the peak number
+// of records parked in the streaming sink waiting for an earlier
+// country. Which countries park depends on interleaving, but the bound
+// — strictly below the study's total record count — is the streaming
+// memory guarantee.
+type PipelineRuntime struct {
+	RecordsInFlightHighWater int64 `json:"records_in_flight_high_water"`
 }
 
 // Bucket is one histogram bucket; LE == -1 marks the overflow bucket.
@@ -199,6 +209,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Anycast: CacheRuntime{Coalesced: r.Geo.Anycast.Coalesced.Load()},
 	}
 	s.Runtime.Fetch = FetchRuntime{BudgetDenied: r.Fetch.BudgetDenied.Load()}
+	s.Runtime.Pipeline = PipelineRuntime{RecordsInFlightHighWater: r.Pipeline.InFlight.HighWater()}
 	s.Runtime.Stages = r.Pipeline.stageSnapshots()
 	s.Runtime.Countries = r.Pipeline.timingSnapshots()
 	return s
@@ -285,6 +296,7 @@ func (s Snapshot) Text() string {
 	line("geo.unicast.coalesced", rt.Geo.Unicast.Coalesced)
 	line("geo.anycast.coalesced", rt.Geo.Anycast.Coalesced)
 	line("fetch.budget_denied", rt.Fetch.BudgetDenied)
+	line("pipeline.records_in_flight_high_water", rt.Pipeline.RecordsInFlightHighWater)
 	for _, stage := range sortedKeys(rt.Stages) {
 		hist("stage."+stage, rt.Stages[stage])
 	}

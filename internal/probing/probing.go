@@ -188,6 +188,42 @@ func (p *Prober) geolocateAnycastUncached(vantage *world.Country, addr netip.Add
 	return v
 }
 
+// SeedUnicast installs a settled unicast verdict without probing and
+// without touching the cache metrics — how a resumed run replays the
+// verdicts its checkpointed countries already paid for (their cache
+// accounting arrives separately, via the stored deterministic deltas).
+// An existing entry is left untouched, so seeding is idempotent.
+func (p *Prober) SeedUnicast(addr netip.Addr, v Verdict) {
+	p.mu.Lock()
+	e := p.unicast[addr]
+	if e == nil {
+		e = &verdictEntry{}
+		p.unicast[addr] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		e.v = v
+		e.done.Store(true)
+	})
+}
+
+// SeedAnycast installs a settled anycast verdict for one
+// (vantage, addr) key; same contract as SeedUnicast.
+func (p *Prober) SeedAnycast(vantage string, addr netip.Addr, v Verdict) {
+	key := anycastKey{vantage: vantage, addr: addr}
+	p.mu.Lock()
+	e := p.anycast[key]
+	if e == nil {
+		e = &verdictEntry{}
+		p.anycast[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		e.v = v
+		e.done.Store(true)
+	})
+}
+
 // record folds one cache lookup into cm's ledger. Coalesced counts the
 // non-creating lookups that arrived while the probe sequence was still
 // in flight — an interleaving artifact, reported on the runtime side.

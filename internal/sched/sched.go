@@ -202,12 +202,28 @@ const minChunk = 8
 // happen; callers that need to know which ran should record completion
 // in their per-index result slot.
 func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
+	p.EachWith(ctx, n, nil, fn)
+}
+
+// EachWith is Each with the deterministic item accounting redirected
+// to det: ItemsScheduled/ItemsRun land on det instead of the pool's
+// study-wide SchedMetrics, so a caller running one country's batches
+// can capture that country's attributable counts (the checkpoint
+// contract needs them separable). A nil det falls back to the pool's
+// metrics. Runtime enqueue accounting — queue depth, occupancy, wait —
+// always stays pool-global: it describes the shared pool, not the
+// caller.
+func (p *Pool) EachWith(ctx context.Context, n int, det *metrics.SchedMetrics, fn func(i int)) {
 	if n == 0 {
 		return
 	}
 	m := p.metrics.Load()
-	if m != nil {
-		m.ItemsScheduled.Add(int64(n))
+	items := det
+	if items == nil {
+		items = m
+	}
+	if items != nil {
+		items.ItemsScheduled.Add(int64(n))
 	}
 	// Several chunks per worker keeps load balanced when item costs
 	// vary without giving back the per-chunk claim cost.
@@ -224,8 +240,8 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 			fn(i)
 			ran++
 		}
-		if m != nil {
-			m.ItemsRun.Add(int64(ran))
+		if items != nil {
+			items.ItemsRun.Add(int64(ran))
 		}
 		return
 	}
@@ -235,8 +251,8 @@ func (p *Pool) Each(ctx context.Context, n int, fn func(i int)) {
 		// when the claimant stops, however many chunks it ran.
 		var ran int64
 		defer func() {
-			if m != nil && ran > 0 {
-				m.ItemsRun.Add(ran)
+			if items != nil && ran > 0 {
+				items.ItemsRun.Add(ran)
 			}
 		}()
 		for ctx.Err() == nil {
