@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +49,9 @@ func main() {
 		fromJSONL   = flag.String("from-jsonl", "", "re-analyse a saved dataset instead of running the pipeline")
 		checkpoint  = flag.String("checkpoint", "", "persist each finished country into this directory so a killed run can be resumed")
 		resume      = flag.Bool("resume", false, "resume the run found in -checkpoint: finished countries load from disk, the rest re-run")
+		shardSpec   = flag.String("shard", "", "run as one shard worker 'i/n': collect the countries whose sorted-panel index ≡ i (mod n) into -checkpoint, then exit")
+		shards      = flag.Int("shards", 0, "supervise this many shard worker processes over -checkpoint (restarting crashes), then assemble the full study")
+		shardRetry  = flag.Int("shard-restarts", 0, "restart budget per crashed shard worker (default: 3; negative disables restarts)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the run to this path (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	)
@@ -74,6 +79,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "govhost: -checkpoint applies to pipeline runs; it cannot be combined with -from-jsonl")
 		os.Exit(1)
 	}
+	if *shardSpec != "" && *shards > 0 {
+		fmt.Fprintln(os.Stderr, "govhost: -shard runs a single worker and -shards runs the supervisor; pick one")
+		os.Exit(1)
+	}
+	if (*shardSpec != "" || *shards > 0) && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "govhost: sharded execution requires -checkpoint (the shared directory the shards assemble through)")
+		os.Exit(1)
+	}
+	if *shards > 0 && *fromJSONL != "" {
+		fmt.Fprintln(os.Stderr, "govhost: -shards runs the pipeline; it cannot be combined with -from-jsonl")
+		os.Exit(1)
+	}
 
 	cfg := govhost.Config{
 		Seed:               *seed,
@@ -98,6 +115,29 @@ func main() {
 	}
 
 	start := time.Now()
+
+	if *shardSpec != "" {
+		idxStr, nStr, ok := strings.Cut(*shardSpec, "/")
+		idx, ierr := strconv.Atoi(idxStr)
+		n, nerr := strconv.Atoi(nStr)
+		if !ok || ierr != nil || nerr != nil || n <= 0 || idx < 0 || idx >= n {
+			fmt.Fprintf(os.Stderr, "govhost: -shard wants 'i/n' with 0 <= i < n, got %q\n", *shardSpec)
+			os.Exit(1)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		done, err := govhost.RunShardWorker(ctx, cfg, idx, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "govhost:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "shard %d/%d complete in %v: %d countries checkpointed in %s\n",
+				idx, n, time.Since(start).Round(time.Millisecond), done, *checkpoint)
+		}
+		return
+	}
+
 	var study *govhost.Study
 	var err error
 	if *fromJSONL != "" {
@@ -114,7 +154,11 @@ func main() {
 		// before exiting (a second ^C kills outright).
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		study, err = govhost.Run(ctx, cfg)
+		if *shards > 0 {
+			study, err = runSharded(ctx, cfg, *shards, *shardRetry, *quiet)
+		} else {
+			study, err = govhost.Run(ctx, cfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "govhost:", err)
@@ -197,4 +241,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSharded re-executes this binary as n shard worker processes under
+// the crash supervisor, then assembles their checkpoints into the
+// study. Worker crash/restart/exhaustion events stream to stderr.
+func runSharded(ctx context.Context, cfg govhost.Config, n, restarts int, quiet bool) (*govhost.Study, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	base := workerArgs()
+	study, outcomes, err := govhost.RunSharded(ctx, cfg, govhost.Sharding{
+		Shards:      n,
+		MaxRestarts: restarts,
+		Worker: func(ctx context.Context, shard, shards int) *exec.Cmd {
+			args := append(append([]string(nil), base...), "-shard", fmt.Sprintf("%d/%d", shard, shards))
+			cmd := exec.CommandContext(ctx, exe, args...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Log: os.Stderr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		for _, o := range outcomes {
+			switch {
+			case o.Err != nil:
+				fmt.Fprintf(os.Stderr, "shard %d/%d: gave up after %d restarts; its uncollected countries are marked failed in the partial dataset\n", o.Shard, n, o.Restarts)
+			case o.Restarts > 0:
+				fmt.Fprintf(os.Stderr, "shard %d/%d: recovered after %d restart(s)\n", o.Shard, n, o.Restarts)
+			}
+		}
+	}
+	return study, nil
+}
+
+// workerArgs rebuilds the command line for a shard worker: every study
+// flag the user set passes through verbatim; supervisor-only and
+// report/export flags do not (workers collect and checkpoint, the
+// assembly pass reports).
+func workerArgs() []string {
+	drop := map[string]bool{
+		"shard": true, "shards": true, "shard-restarts": true,
+		"exp": true, "dump-jsonl": true, "dump-csv": true, "from-jsonl": true,
+		"metrics": true, "cpuprofile": true, "memprofile": true,
+	}
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		if !drop[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return args
 }

@@ -8,26 +8,45 @@
 // A checkpoint directory holds one manifest (the study parameters that
 // must match for stored work to be reusable) and one file per finished
 // country carrying its records, coverage statistics, method tallies,
-// the hostnames whose resolution failed, and the country's
-// deterministic metric contribution. Records are stored pre-category:
-// provider categories depend on the study-global continental span of
-// each ASN, so they are assigned only once every country is in — the
-// resuming run re-derives them, which is exactly what an uninterrupted
-// run does.
+// per-hostname resolution outcomes, and the country's directly
+// attributable deterministic metric delta. Records are stored
+// pre-category: provider categories depend on the study-global
+// continental span of each ASN, so they are assigned only once every
+// country is in — the resuming run re-derives them, which is exactly
+// what an uninterrupted run does.
 //
-// Every write is atomic (temp file + rename), so a kill mid-write
-// leaves either the previous state or the new one, never a torn file.
-// Checkpoint bytes are seed-deterministic: encoding/json sorts map
-// keys, records are stored in their canonical per-country order, and
-// nothing wall-clock is recorded.
+// The directory is safe to share between shard processes: each opener
+// holds a lease file naming its slot (slot i of n), its PID and a
+// takeover generation, so two processes can only work the same
+// directory when they hold distinct slots of the same sharding shape.
+// A stale lease (dead PID) is taken over with a bumped generation;
+// a live one is refused.
+//
+// Every write is atomic (temp file + rename) and durable (the temp
+// file and the directory are fsynced before the country counts as
+// persisted), so a kill or power loss mid-write leaves either the
+// previous state or the new one, never a torn file. Country files
+// carry a content checksum verified on load; a corrupt or truncated
+// file is quarantined (renamed to `.corrupt`) and its country simply
+// re-runs, instead of failing the whole resume. Checkpoint bytes are
+// seed-deterministic: encoding/json sorts map keys, records are stored
+// in their canonical per-country order, and nothing wall-clock is
+// recorded.
 package checkpoint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
@@ -37,7 +56,9 @@ import (
 // to. Resuming under any other parameters would splice incompatible
 // work into the run, so Open refuses on mismatch. SkipTopsites is
 // deliberately absent: topsites are never checkpointed (they re-run on
-// resume), so the flag may differ between the killed and resuming run.
+// resume), so the flag may differ between the killed and resuming run
+// — and between a shard worker (which always skips them) and the
+// assembly pass.
 type Manifest struct {
 	Seed              int64    `json:"seed"`
 	Scale             float64  `json:"scale"`
@@ -58,12 +79,14 @@ type Manifest struct {
 }
 
 // HostOutcome records one hostname whose resolution failed, with the
-// failure classification a resuming run must replay (successful hosts
-// need no separate entry — their outcome is reconstructed from the
-// records).
+// failure classification and the number of lookups the country issued
+// for it — both needed to replay the country's share of the shared
+// resolution cache (successful hosts need no separate entry: their
+// outcome and lookup counts are reconstructed from the records).
 type HostOutcome struct {
 	Host     string `json:"host"`
 	FailKind string `json:"failKind"`
+	Lookups  int64  `json:"lookups,omitempty"`
 }
 
 // Country is one finished country's persisted state.
@@ -79,41 +102,114 @@ type Country struct {
 	// (URL-sorted) order, pre-category: Category and GovAS are zero
 	// until the full study assigns them.
 	Records []dataset.URLRecord `json:"records,omitempty"`
-	// FailedHosts lists the hostnames this country was first to resolve
-	// that failed, so a resuming run can seed the negative cache.
+	// FailedHosts lists the hostnames this country tried to resolve
+	// that failed, with their lookup counts, so a resuming run can seed
+	// the negative cache and replay the cache accounting.
 	FailedHosts []HostOutcome `json:"failedHosts,omitempty"`
-	// Delta is the country's deterministic metric contribution: its
-	// directly attributable counters plus its canonical share of the
-	// shared caches (a miss for every host/address it was first — in
-	// checkpoint store order — to touch). Summed over any stored subset
-	// and added to the live counters of the countries that re-run, the
-	// totals equal an uninterrupted run's.
+	// Delta is the country's directly attributable deterministic
+	// metric contribution: its fork registry's counters only —
+	// scheduler items, fetches, retries, injections, frontier, pipeline
+	// rows. Shares of the shared caches (resolution, geolocation, DNS
+	// fault replays) are deliberately absent: they depend on which
+	// other countries are stored, so the loading run recomputes them
+	// against its own union sets. That keeps deltas valid however many
+	// processes wrote the directory and however many generations of
+	// resume it went through.
 	Delta metrics.Deterministic `json:"delta"`
+}
+
+// Options parameterises Open.
+type Options struct {
+	// Resume loads stored countries instead of refusing a non-empty
+	// directory. A missing manifest degrades to a fresh start, so
+	// Resume is safe to pass unconditionally.
+	Resume bool
+	// Slot and Slots declare the opener's shard position: slot Slot of
+	// Slots shares the directory with the other slots of the same
+	// shape. The zero value (Slots <= 0) means exclusive single-process
+	// use — slot 0 of 1.
+	Slot, Slots int
+	// ValidateOnly checks (or, fresh, writes) the manifest without
+	// acquiring a lease or loading countries — the supervisor's
+	// pre-flight, run before any worker exists.
+	ValidateOnly bool
+}
+
+// LoadResult is what Open found in the directory.
+type LoadResult struct {
+	// Countries are the stored countries that loaded cleanly, in
+	// sorted-code order.
+	Countries []Country
+	// Quarantined lists the country files that failed verification
+	// (unparseable, checksum mismatch, code/filename mismatch) and were
+	// renamed to `.corrupt`; their countries must re-run.
+	Quarantined []string
 }
 
 // Store writes per-country checkpoints into one directory.
 type Store struct {
-	dir string
+	dir        string
+	slot       int
+	slots      int
+	generation int
+	leaseName  string // "" when no lease is held (ValidateOnly)
+	tmpSuffix  string
 }
 
 const manifestName = "manifest.json"
 
-// Open prepares a checkpoint directory. With resume false the
-// directory must not already contain a run (a leftover manifest is an
-// error — refusing beats silently clobbering finished work); the
-// manifest is written and an empty store returned. With resume true an
-// existing manifest must match m exactly and every stored country is
-// loaded; a missing manifest degrades to a fresh start, so -resume is
-// safe to pass unconditionally.
-func Open(dir string, m Manifest, resume bool) (*Store, []Country, error) {
+// lease is the on-disk claim one process holds on one slot of a
+// checkpoint directory.
+type lease struct {
+	PID        int `json:"pid"`
+	Slot       int `json:"slot"`
+	Slots      int `json:"slots"`
+	Generation int `json:"generation"`
+}
+
+// held tracks the lease files this process currently holds, so a
+// re-open within the same process (a test killing a run by cancelling
+// its context, then resuming) can tell its own released leases from a
+// genuinely live holder with the same PID.
+var (
+	heldMu sync.Mutex
+	held   = map[string]bool{}
+)
+
+// slotTmpRe matches the slot-scoped temp suffix writeAtomic uses, so
+// the orphan sweep can tell another live slot's in-flight write from
+// debris.
+var slotTmpRe = regexp.MustCompile(`\.s\d+\.tmp$`)
+
+// Open prepares a checkpoint directory. Without Resume the directory
+// must not already contain a run (a leftover manifest is an error —
+// refusing beats silently clobbering finished work); the manifest is
+// written and an empty store returned. With Resume an existing
+// manifest must match m field-for-field and every stored country is
+// loaded, quarantining the ones that fail verification. Unless
+// ValidateOnly is set the opener takes a lease on its slot, refusing
+// directories leased by a live process of a different sharding shape
+// or by a live holder of the same slot.
+func Open(dir string, m Manifest, o Options) (*Store, *LoadResult, error) {
+	if o.Slots <= 0 {
+		o.Slot, o.Slots = 0, 1
+	}
+	if o.Slot < 0 || o.Slot >= o.Slots {
+		return nil, nil, fmt.Errorf("checkpoint: slot %d out of range for %d slots", o.Slot, o.Slots)
+	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, err
 	}
-	path := filepath.Join(dir, manifestName)
-	raw, err := os.ReadFile(path)
+	s := &Store{
+		dir: dir, slot: o.Slot, slots: o.Slots,
+		tmpSuffix: fmt.Sprintf(".s%d.tmp", o.Slot),
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	resumable := false
 	switch {
 	case err == nil:
-		if !resume {
+		if !o.Resume {
 			return nil, nil, fmt.Errorf("checkpoint: %s already holds a run; pass resume to continue it or choose an empty directory", dir)
 		}
 		var stored Manifest
@@ -123,68 +219,297 @@ func Open(dir string, m Manifest, resume bool) (*Store, []Country, error) {
 		if err := match(stored, m); err != nil {
 			return nil, nil, err
 		}
-		s := &Store{dir: dir}
-		countries, err := s.loadAll()
-		if err != nil {
-			return nil, nil, err
-		}
-		return s, countries, nil
+		resumable = true
 	case os.IsNotExist(err):
-		s := &Store{dir: dir}
 		if err := s.writeAtomic(manifestName, m); err != nil {
 			return nil, nil, err
 		}
-		return s, nil, nil
 	default:
 		return nil, nil, fmt.Errorf("checkpoint: manifest: %w", err)
 	}
+
+	if o.ValidateOnly {
+		return s, &LoadResult{}, nil
+	}
+	if err := s.acquireLease(); err != nil {
+		return nil, nil, err
+	}
+	if err := s.sweepOrphans(); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	if !resumable {
+		return s, &LoadResult{}, nil
+	}
+	res, err := s.loadAll()
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	return s, res, nil
 }
 
-// match compares the stored manifest against the requested one
-// field-by-field, naming the first divergence.
-func match(stored, want Manifest) error {
-	a, err := json.Marshal(stored)
-	if err != nil {
-		return err
+// Generation reports the takeover generation of the held lease: 1 for
+// a first acquisition, incremented each time a stale lease for the
+// same slot is taken over. Zero when no lease is held.
+func (s *Store) Generation() int { return s.generation }
+
+// Close releases the store's lease, if it holds one. Safe to call on
+// a store that never took a lease, and idempotent.
+func (s *Store) Close() error {
+	if s == nil || s.leaseName == "" {
+		return nil
 	}
-	b, err := json.Marshal(want)
-	if err != nil {
+	path := filepath.Join(s.dir, s.leaseName)
+	heldMu.Lock()
+	delete(held, path)
+	heldMu.Unlock()
+	s.leaseName = ""
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return err
-	}
-	if string(a) != string(b) {
-		return fmt.Errorf("checkpoint: manifest mismatch: directory holds %s, run wants %s", a, b)
 	}
 	return nil
 }
 
-// Put persists one finished country atomically.
-func (s *Store) Put(c Country) error {
-	return s.writeAtomic(c.Code+".json", c)
+// acquireLease claims this store's slot. Every live lease in the
+// directory must belong to the same sharding shape and a different
+// slot; stale leases for this slot are taken over with a bumped
+// generation. Creation is O_EXCL, so two racing openers of one slot
+// cannot both win.
+func (s *Store) acquireLease() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	gen := 1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".lease") {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // released between ReadDir and ReadFile
+			}
+			return err
+		}
+		var l lease
+		if err := json.Unmarshal(raw, &l); err != nil || l.Slots <= 0 {
+			// A torn lease can only be debris from a crash between
+			// create and write; its holder is gone.
+			os.Remove(path)
+			continue
+		}
+		if s.leaseLive(l, path) {
+			if l.Slots != s.slots {
+				return fmt.Errorf("checkpoint: %s is leased by a %d-shard run (slot %d, pid %d); cannot open it as slot %d of %d", s.dir, l.Slots, l.Slot, l.PID, s.slot, s.slots)
+			}
+			if l.Slot == s.slot {
+				return fmt.Errorf("checkpoint: slot %d of %d in %s is already leased by pid %d", s.slot, s.slots, s.dir, l.PID)
+			}
+			continue // a sibling slot of our shape — exactly the sharing leases exist for
+		}
+		// Stale: the holder is dead. Take over our own slot's lease
+		// (bumping the generation); leave siblings' stale leases for
+		// their restarted slots to reclaim.
+		if l.Slot == s.slot && l.Slots == s.slots {
+			if l.Generation >= gen {
+				gen = l.Generation + 1
+			}
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+
+	s.leaseName = fmt.Sprintf("slot-%d-of-%d.lease", s.slot, s.slots)
+	path := filepath.Join(s.dir, s.leaseName)
+	data, err := json.Marshal(lease{PID: os.Getpid(), Slot: s.slot, Slots: s.slots, Generation: gen})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		s.leaseName = ""
+		if os.IsExist(err) {
+			return fmt.Errorf("checkpoint: slot %d of %d in %s was leased concurrently", s.slot, s.slots, s.dir)
+		}
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		s.leaseName = ""
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.leaseName = ""
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.leaseName = ""
+		return err
+	}
+	s.generation = gen
+	heldMu.Lock()
+	held[path] = true
+	heldMu.Unlock()
+	return nil
 }
 
-// writeAtomic marshals v and renames it into place, so a kill mid-write
-// never leaves a torn file.
+// leaseLive reports whether the lease's holder is still running. A
+// lease naming our own PID is live only while this process actually
+// holds it (a closed store's lease with our PID is debris, not a
+// holder).
+func (s *Store) leaseLive(l lease, path string) bool {
+	if l.PID == os.Getpid() {
+		heldMu.Lock()
+		defer heldMu.Unlock()
+		return held[path]
+	}
+	return pidAlive(l.PID)
+}
+
+// pidAlive probes a foreign PID with signal 0. EPERM means the
+// process exists but belongs to someone else — alive for our purposes.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// sweepOrphans removes temp files a killed writer left behind: this
+// slot's own slot-scoped temps plus any unscoped `*.tmp` debris (the
+// lease check guarantees no live unscoped writer can coexist with a
+// lease holder). Another slot's scoped temp may be an in-flight write,
+// so it is left alone.
+func (s *Store) sweepOrphans() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if m := slotTmpRe.FindString(name); m != "" && m != s.tmpSuffix {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// match compares the stored manifest against the requested one
+// field-by-field, naming the first divergent parameter and both
+// values.
+func match(stored, want Manifest) error {
+	sv := reflect.ValueOf(stored)
+	wv := reflect.ValueOf(want)
+	t := sv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if reflect.DeepEqual(sv.Field(i).Interface(), wv.Field(i).Interface()) {
+			continue
+		}
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name == "" {
+			name = t.Field(i).Name
+		}
+		return fmt.Errorf("checkpoint: manifest mismatch: %s: directory holds %v, run wants %v",
+			name, sv.Field(i).Interface(), wv.Field(i).Interface())
+	}
+	return nil
+}
+
+// envelope wraps a stored country with a content checksum, so load can
+// tell a truncated or bit-flipped file from real state.
+type envelope struct {
+	SHA256  string          `json:"sha256"`
+	Country json.RawMessage `json:"country"`
+}
+
+// Put persists one finished country atomically and durably.
+func (s *Store) Put(c Country) error {
+	body, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", c.Code, err)
+	}
+	sum := sha256.Sum256(body)
+	return s.writeAtomic(c.Code+".json", envelope{
+		SHA256:  hex.EncodeToString(sum[:]),
+		Country: body,
+	})
+}
+
+// writeAtomic marshals v, fsyncs it into a slot-scoped temp file,
+// renames it into place, and fsyncs the directory — so a kill or power
+// loss at any point leaves either the previous state or the new one,
+// durably, never a torn file.
 func (s *Store) writeAtomic(name string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
-	tmp := filepath.Join(s.dir, name+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o666); err != nil {
+	tmp := filepath.Join(s.dir, name+s.tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, name))
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
 }
 
-// loadAll reads every stored country. Load order does not matter:
-// deltas are additive and cache seeding is a set union, so the caller
-// may apply them in any sequence.
-func (s *Store) loadAll() ([]Country, error) {
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadAll reads every stored country, verifying each file's checksum
+// and code/filename agreement. A file that fails verification is
+// quarantined — renamed to `.corrupt` — and reported, not fatal: its
+// country re-runs, which is self-healing by construction. Load order
+// does not matter: deltas are additive and cache seeding is a set
+// union. os.ReadDir sorts by filename, so countries arrive in
+// sorted-code order.
+func (s *Store) loadAll() (*LoadResult, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
-	var out []Country
+	res := &LoadResult{}
 	for _, e := range entries {
 		name := e.Name()
 		if name == manifestName || !strings.HasSuffix(name, ".json") {
@@ -194,14 +519,41 @@ func (s *Store) loadAll() ([]Country, error) {
 		if err != nil {
 			return nil, err
 		}
-		var c Country
-		if err := json.Unmarshal(raw, &c); err != nil {
-			return nil, fmt.Errorf("checkpoint: %s: %w", name, err)
+		c, verr := decodeCountry(raw, name)
+		if verr != nil {
+			if err := s.quarantine(name); err != nil {
+				return nil, fmt.Errorf("checkpoint: quarantining %s (%v): %w", name, verr, err)
+			}
+			res.Quarantined = append(res.Quarantined, name)
+			continue
 		}
-		if c.Code == "" || c.Code+".json" != name {
-			return nil, fmt.Errorf("checkpoint: %s: stored code %q does not match filename", name, c.Code)
-		}
-		out = append(out, c)
+		res.Countries = append(res.Countries, c)
 	}
-	return out, nil
+	return res, nil
+}
+
+// decodeCountry verifies and unpacks one stored country file.
+func decodeCountry(raw []byte, name string) (Country, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Country{}, fmt.Errorf("unparseable: %w", err)
+	}
+	sum := sha256.Sum256(env.Country)
+	if env.SHA256 != hex.EncodeToString(sum[:]) {
+		return Country{}, errors.New("content checksum mismatch")
+	}
+	var c Country
+	if err := json.Unmarshal(env.Country, &c); err != nil {
+		return Country{}, fmt.Errorf("unparseable country: %w", err)
+	}
+	if c.Code == "" || c.Code+".json" != name {
+		return Country{}, fmt.Errorf("stored code %q does not match filename", c.Code)
+	}
+	return c, nil
+}
+
+// quarantine renames a failed country file out of the load path,
+// keeping its bytes for post-mortems.
+func (s *Store) quarantine(name string) error {
+	return os.Rename(filepath.Join(s.dir, name), filepath.Join(s.dir, name+".corrupt"))
 }

@@ -27,21 +27,30 @@ func testCountry(code string) Country {
 			URL: "https://a." + strings.ToLower(code) + "/", Host: "a." + strings.ToLower(code),
 			Country: code, IP: netip.MustParseAddr("192.0.2.7"), ASN: 64500,
 		}},
-		FailedHosts: []HostOutcome{{Host: "bad." + strings.ToLower(code), FailKind: "dns"}},
+		FailedHosts: []HostOutcome{{Host: "bad." + strings.ToLower(code), FailKind: "dns", Lookups: 2}},
 		Delta: metrics.Deterministic{
 			Cache: metrics.CacheCounters{Lookups: 2, Misses: 2},
 		},
 	}
 }
 
-func TestOpenFreshThenResumeRoundTrips(t *testing.T) {
-	dir := t.TempDir()
-	store, loaded, err := Open(dir, testManifest(), false)
+// mustOpen opens the directory and registers Close, so sequential
+// opens in one test do not trip over their own leases.
+func mustOpen(t *testing.T, dir string, m Manifest, o Options) (*Store, *LoadResult) {
+	t.Helper()
+	store, res, err := Open(dir, m, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded) != 0 {
-		t.Fatalf("fresh open returned %d countries", len(loaded))
+	t.Cleanup(func() { store.Close() })
+	return store, res
+}
+
+func TestOpenFreshThenResumeRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	store, res := mustOpen(t, dir, testManifest(), Options{})
+	if len(res.Countries) != 0 {
+		t.Fatalf("fresh open returned %d countries", len(res.Countries))
 	}
 	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
 		t.Fatalf("manifest not written: %v", err)
@@ -50,22 +59,22 @@ func TestOpenFreshThenResumeRoundTrips(t *testing.T) {
 	if err := store.Put(want); err != nil {
 		t.Fatal(err)
 	}
-
-	_, loaded, err = Open(dir, testManifest(), true)
-	if err != nil {
+	if err := store.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded) != 1 {
-		t.Fatalf("resume loaded %d countries, want 1", len(loaded))
+
+	_, res = mustOpen(t, dir, testManifest(), Options{Resume: true})
+	if len(res.Countries) != 1 {
+		t.Fatalf("resume loaded %d countries, want 1", len(res.Countries))
 	}
-	got := loaded[0]
+	got := res.Countries[0]
 	if got.Code != "UY" || got.Stats.Attempted != 10 || got.Methods["tld"] != 3 {
 		t.Fatalf("loaded country diverged: %+v", got)
 	}
 	if len(got.Records) != 1 || got.Records[0].IP != want.Records[0].IP {
 		t.Fatalf("records diverged: %+v", got.Records)
 	}
-	if len(got.FailedHosts) != 1 || got.FailedHosts[0].FailKind != "dns" {
+	if len(got.FailedHosts) != 1 || got.FailedHosts[0].FailKind != "dns" || got.FailedHosts[0].Lookups != 2 {
 		t.Fatalf("failed hosts diverged: %+v", got.FailedHosts)
 	}
 	if got.Delta.Cache.Lookups != 2 {
@@ -75,10 +84,9 @@ func TestOpenFreshThenResumeRoundTrips(t *testing.T) {
 
 func TestOpenRefusesExistingRunWithoutResume(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := Open(dir, testManifest(), false); err != nil {
-		t.Fatal(err)
-	}
-	_, _, err := Open(dir, testManifest(), false)
+	store, _ := mustOpen(t, dir, testManifest(), Options{})
+	store.Close()
+	_, _, err := Open(dir, testManifest(), Options{})
 	if err == nil || !strings.Contains(err.Error(), "already holds a run") {
 		t.Fatalf("second open without resume: err = %v", err)
 	}
@@ -86,39 +94,56 @@ func TestOpenRefusesExistingRunWithoutResume(t *testing.T) {
 
 func TestOpenResumeRejectsManifestMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := Open(dir, testManifest(), false); err != nil {
-		t.Fatal(err)
-	}
+	store, _ := mustOpen(t, dir, testManifest(), Options{})
+	store.Close()
 	other := testManifest()
 	other.Scale = 0.1
-	_, _, err := Open(dir, other, true)
+	_, _, err := Open(dir, other, Options{Resume: true})
 	if err == nil || !strings.Contains(err.Error(), "mismatch") {
 		t.Fatalf("mismatched resume: err = %v", err)
 	}
 }
 
+// The field-by-field comparison must name the first divergent
+// parameter and both values, not dump two JSON blobs.
+func TestManifestMismatchNamesDivergentField(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := mustOpen(t, dir, testManifest(), Options{})
+	store.Close()
+	other := testManifest()
+	other.FaultSeed = 7
+	_, _, err := Open(dir, other, Options{Resume: true})
+	if err == nil {
+		t.Fatal("mismatched resume succeeded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"faultSeed", "holds 0", "wants 7"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("mismatch error %q does not name %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "{") {
+		t.Fatalf("mismatch error still dumps a raw blob: %q", msg)
+	}
+}
+
 func TestOpenResumeWithoutManifestDegradesToFresh(t *testing.T) {
 	dir := t.TempDir()
-	store, loaded, err := Open(dir, testManifest(), true)
-	if err != nil {
-		t.Fatal(err)
+	store, res := mustOpen(t, dir, testManifest(), Options{Resume: true})
+	if store == nil || len(res.Countries) != 0 {
+		t.Fatalf("resume on empty dir: store=%v loaded=%d", store, len(res.Countries))
 	}
-	if store == nil || len(loaded) != 0 {
-		t.Fatalf("resume on empty dir: store=%v loaded=%d", store, len(loaded))
-	}
+	store.Close()
 	// The fresh-started directory must now carry the manifest, so the
 	// next resume validates against it.
-	if _, _, err := Open(dir, testManifest(), true); err != nil {
+	if _, _, err := Open(dir, testManifest(), Options{Resume: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPutBytesDeterministicAndAtomic(t *testing.T) {
 	dir := t.TempDir()
-	store, _, err := Open(dir, testManifest(), false)
-	if err != nil {
-		t.Fatal(err)
-	}
+	store, _ := mustOpen(t, dir, testManifest(), Options{})
 	c := testCountry("NG")
 	if err := store.Put(c); err != nil {
 		t.Fatal(err)
@@ -149,19 +174,26 @@ func TestPutBytesDeterministicAndAtomic(t *testing.T) {
 	}
 }
 
-func TestLoadAllRejectsMismatchedFilename(t *testing.T) {
+// A stored file whose embedded code disagrees with its filename is
+// quarantined — not a fatal resume error — and its country re-runs.
+func TestLoadAllQuarantinesMismatchedFilename(t *testing.T) {
 	dir := t.TempDir()
-	store, _, err := Open(dir, testManifest(), false)
-	if err != nil {
+	store, _ := mustOpen(t, dir, testManifest(), Options{})
+	if err := store.Put(testCountry("UY")); err != nil {
 		t.Fatal(err)
 	}
-	c := testCountry("US")
-	c.Code = "UY" // stored under US.json below
-	if err := store.writeAtomic("US.json", c); err != nil {
+	if err := os.Rename(filepath.Join(dir, "UY.json"), filepath.Join(dir, "US.json")); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = Open(dir, testManifest(), true)
-	if err == nil || !strings.Contains(err.Error(), "does not match filename") {
-		t.Fatalf("mismatched filename: err = %v", err)
+	store.Close()
+	_, res := mustOpen(t, dir, testManifest(), Options{Resume: true})
+	if len(res.Countries) != 0 {
+		t.Fatalf("mismatched file loaded anyway: %+v", res.Countries)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0] != "US.json" {
+		t.Fatalf("quarantined = %v, want [US.json]", res.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "US.json.corrupt")); err != nil {
+		t.Fatalf("quarantined file not renamed: %v", err)
 	}
 }

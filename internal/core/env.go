@@ -107,6 +107,27 @@ type Config struct {
 	// resumed run's exports and deterministic metrics are byte-identical
 	// to an uninterrupted same-seed run at any concurrency shape.
 	Resume bool
+
+	// ShardCount, when positive, puts the run in shard-worker mode: it
+	// executes only the countries whose index in the sorted study set ≡
+	// ShardIndex (mod ShardCount), checkpointing them into CheckpointDir
+	// (required) under lease slot ShardIndex. Workers force SkipTopsites
+	// and Resume — the assembly pass runs topsites and a restarted
+	// worker must pick up its own earlier progress. The checkpoint
+	// manifest pins the full study set, so every worker and the
+	// assembly pass share one directory.
+	ShardCount int
+	// ShardIndex is this worker's shard position in [0, ShardCount).
+	ShardIndex int
+
+	// FailCountries names countries the caller knows cannot be
+	// collected — the shards that exhausted their supervisor restart
+	// budget. A listed country that is not already checkpointed gets a
+	// typed Failed stats row (PR-2-style failure accounting) instead of
+	// running, so a degraded sharded run yields a partial dataset
+	// rather than an abort. Listed countries that did checkpoint load
+	// normally.
+	FailCountries []string
 }
 
 // withDefaults fills unset fields.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/probing"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/vantage"
 	"repro/internal/webgen"
 	"repro/internal/world"
@@ -44,6 +45,22 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	// zero concurrency budget, and a zero-capacity semaphore deadlocks
 	// every worker.
 	cfg := env.Config.withDefaults()
+	if cfg.ShardCount > 0 {
+		// Shard-worker mode: the worker owns a deterministic slice of
+		// the study and shares the checkpoint directory with its
+		// siblings. Topsites belong to the assembly pass (they are never
+		// checkpointed), and a restarted worker must resume its own
+		// earlier progress, so both flags are forced rather than trusted
+		// to the spawner.
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("core: shard worker %d/%d needs a checkpoint directory", cfg.ShardIndex, cfg.ShardCount)
+		}
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("core: shard index %d out of range for %d shards", cfg.ShardIndex, cfg.ShardCount)
+		}
+		cfg.SkipTopsites = true
+		cfg.Resume = true
+	}
 	env.Config = cfg
 	if env.metrics == nil && !cfg.DisableMetrics {
 		env.metrics = metrics.New()
@@ -81,15 +98,27 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	}
 
 	// Open the checkpoint store before any work starts: a manifest
-	// mismatch or an unwilling directory should fail the run while it
-	// is still free to fail.
+	// mismatch, a live conflicting lease or an unwilling directory
+	// should fail the run while it is still free to fail. Countries
+	// that fail checkpoint verification are quarantined by Open and
+	// simply re-run below — self-healing resume.
 	var store *checkpoint.Store
 	var loaded []checkpoint.Country
 	if cfg.CheckpointDir != "" {
-		var err error
-		store, loaded, err = checkpoint.Open(cfg.CheckpointDir, env.manifest(countries), cfg.Resume)
+		slots := cfg.ShardCount
+		if slots <= 0 {
+			slots = 1
+		}
+		s, res, err := checkpoint.Open(cfg.CheckpointDir, env.manifest(countries), checkpoint.Options{
+			Resume: cfg.Resume, Slot: cfg.ShardIndex, Slots: slots,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
+		}
+		defer s.Close()
+		store, loaded = s, res.Countries
+		if env.metrics != nil {
+			env.metrics.Shard.RecordQuarantined(int64(len(res.Quarantined)))
 		}
 	}
 
@@ -119,21 +148,43 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	// straight into the dataset (and the checkpoint store) the moment
 	// every earlier country is in, so peak buffered state is the parked
 	// out-of-order completions, not the whole study.
+	// The full study set pins the manifest; in shard-worker mode the
+	// sink (and the coordinator feed) cover only this worker's owned
+	// slice, so a sibling's unfinished rank can never block a flush.
+	studySet := make(map[string]bool, len(countries))
 	codes := make([]string, len(countries))
 	for i, c := range countries {
 		codes[i] = c.Code
+		studySet[c.Code] = true
 	}
-	sink := newMergeSink(env, ds, store, codes)
+	run := countries
+	sinkCodes := codes
+	if cfg.ShardCount > 1 {
+		sinkCodes = shard.Owned(codes, cfg.ShardIndex, cfg.ShardCount)
+		ownedSet := make(map[string]bool, len(sinkCodes))
+		for _, code := range sinkCodes {
+			ownedSet[code] = true
+		}
+		run = make([]*world.Country, 0, len(sinkCodes))
+		for _, c := range countries {
+			if ownedSet[c.Code] {
+				run = append(run, c)
+			}
+		}
+	}
+	sink := newMergeSink(env, ds, store, sinkCodes)
 	var sinkMu sync.Mutex
 
 	// Resume: replay the stored countries' shared-cache outcomes
-	// (metric-free — their ledger share arrives through the stored
-	// deltas), then hand them to the sink at their ranks so fresh
-	// countries slot in around them.
+	// (metric-free — their ledger share arrives through the recomputed
+	// deltas), then hand the owned ones to the sink at their ranks so
+	// fresh countries slot in around them. A sibling shard's country is
+	// seeded but not assembled — its own worker (or the assembly pass)
+	// owns its rank.
 	loadedSet := make(map[string]bool, len(loaded))
 	for i := range loaded {
 		lc := &loaded[i]
-		if _, ok := sink.rank[lc.Code]; !ok {
+		if !studySet[lc.Code] {
 			return nil, fmt.Errorf("core: checkpoint holds country %s outside the study set", lc.Code)
 		}
 		loadedSet[lc.Code] = true
@@ -141,6 +192,9 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	}
 	for i := range loaded {
 		lc := &loaded[i]
+		if _, ok := sink.rank[lc.Code]; !ok {
+			continue
+		}
 		methods := make(map[govclass.URLMethod]int, len(lc.Methods))
 		for m, n := range lc.Methods {
 			methods[govclass.URLMethod(m)] = n
@@ -153,12 +207,46 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 		}
 	}
 
+	// Countries owned by a shard that exhausted its restart budget
+	// degrade to typed failure rows — the run continues and the dataset
+	// is partial with full accounting, not aborted. A listed country
+	// that did checkpoint before its shard died loads normally above.
+	// The rows are transient: the sink never persists them, so a later
+	// resume of the directory re-runs the countries instead of
+	// inheriting this run's crashes.
+	if len(cfg.FailCountries) > 0 {
+		failCodes := append([]string(nil), cfg.FailCountries...)
+		sort.Strings(failCodes)
+		prev := ""
+		for _, code := range failCodes {
+			if code == prev || !studySet[code] || loadedSet[code] {
+				continue
+			}
+			prev = code
+			if _, ok := sink.rank[code]; !ok {
+				continue
+			}
+			loadedSet[code] = true
+			c := env.World.MustCountry(code)
+			stats := &dataset.CountryStats{
+				Country: code, Region: c.Region,
+				LandingURLs:   len(env.Estate.LandingURLs[code]),
+				Failed:        true,
+				FailureReason: "shard worker exhausted its restart budget; country not collected",
+			}
+			env.pipelineMetrics().RecordCountry(code, metrics.CountryCounters{}, true, nil)
+			if err := sink.complete(&countryDone{code: code, stats: stats, transient: true}); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+
 	// A fixed team of coordinators pulls country indexes from a
 	// channel; all their fetch/annotate work funnels through the shared
 	// pool. Each fresh country records its attributable deterministic
 	// counters into a fork registry, absorbed study-wide at flush — the
 	// separation checkpointing needs.
-	errs := make([]error, len(countries))
+	errs := make([]error, len(run))
 	idx := make(chan int)
 	wait := sched.Workers(cfg.CountryConcurrency, func(int) {
 		for i := range idx {
@@ -169,7 +257,7 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 			if env.metrics != nil {
 				fork = metrics.New()
 			}
-			d, err := env.runCountry(ctx, countries[i], pool, fork)
+			d, err := env.runCountry(ctx, run[i], pool, fork)
 			if err != nil {
 				errs[i] = err
 				continue
@@ -183,8 +271,8 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 		}
 	})
 feed:
-	for i := range countries {
-		if loadedSet[countries[i].Code] {
+	for i := range run {
+		if loadedSet[run[i].Code] {
 			continue
 		}
 		select {
@@ -217,7 +305,7 @@ feed:
 			// here; per-country collection failures degrade to a Failed
 			// stats entry inside runCountry, so one hostile country
 			// cannot abort the study.
-			return nil, fmt.Errorf("core: country %s: %w", countries[i].Code, e)
+			return nil, fmt.Errorf("core: country %s: %w", run[i].Code, e)
 		}
 	}
 
@@ -255,6 +343,15 @@ func (env *Env) manifest(countries []*world.Country) checkpoint.Manifest {
 		IPInfoErrorRate: cfg.IPInfoErrorRate, ManycastRecall: cfg.ManycastRecall,
 		DisableMetrics: cfg.DisableMetrics,
 	}
+}
+
+// StudyManifest resolves the checkpoint manifest a configuration pins
+// without materialising the synthetic environment — the supervisor's
+// pre-flight, used to validate (or create) the shared directory and to
+// learn the resolved study set before any worker process exists.
+func StudyManifest(cfg Config) checkpoint.Manifest {
+	env := &Env{Config: cfg.withDefaults(), World: world.New()}
+	return env.manifest(env.studyCountries())
 }
 
 // studyCountries resolves the configured country subset.

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// runShardWorker executes one shard worker in-process against a shared
+// checkpoint directory. killAfter > 0 cancels the worker the moment
+// its killAfter-th country flushes — the in-process stand-in for a
+// crashed worker process.
+func runShardWorker(t *testing.T, cfg Config, dir string, index, shards, killAfter int) {
+	t.Helper()
+	cfg.CheckpointDir = dir
+	cfg.ShardIndex = index
+	cfg.ShardCount = shards
+	cfg.Resume = true
+	env := NewEnv(cfg)
+	ctx := context.Background()
+	if killAfter > 0 {
+		kctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		flushes := 0
+		env.afterFlush = func(string) {
+			flushes++
+			if flushes == killAfter {
+				cancel()
+			}
+		}
+		if _, err := env.Run(kctx); err == nil {
+			t.Fatalf("shard %d/%d killed after %d flushes reported success", index, shards, killAfter)
+		}
+		return
+	}
+	if _, err := env.Run(ctx); err != nil {
+		t.Fatalf("shard %d/%d: %v", index, shards, err)
+	}
+}
+
+// assemble runs the final assembly pass over a shard checkpoint
+// directory and returns its artifacts plus the Env for metric
+// introspection.
+func assemble(t *testing.T, cfg Config, dir string, failCountries []string) (jsonl, csv, det []byte, env *Env) {
+	t.Helper()
+	cfg.CheckpointDir = dir
+	cfg.Resume = true
+	cfg.FailCountries = failCountries
+	env = NewEnv(cfg)
+	ds, err := env.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl, csv = exportBytes(t, ds)
+	det, err = env.Metrics().Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jsonl, csv, det, env
+}
+
+// storedCountryFiles lists the country checkpoint files in dir, in
+// sorted-code order.
+func storedCountryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if name := e.Name(); name != "manifest.json" && strings.HasSuffix(name, ".json") {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// corruptStored damages one stored country file (the middle one, so
+// the victim is deterministic but not always rank 0) and returns its
+// name.
+func corruptStored(t *testing.T, dir, mode string) string {
+	t.Helper()
+	stored := storedCountryFiles(t, dir)
+	if len(stored) == 0 {
+		t.Fatal("no stored countries to corrupt")
+	}
+	victim := stored[len(stored)/2]
+	path := filepath.Join(dir, victim)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch mode {
+	case "truncate":
+		raw = raw[:len(raw)/3]
+	case "flip":
+		raw[len(raw)/2] ^= 0x40
+	default:
+		t.Fatalf("unknown corruption mode %q", mode)
+	}
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return victim
+}
+
+// TestShardedAssemblyByteIdentical is the tentpole guarantee: a
+// sharded run — workers killed at every completion boundary and
+// restarted, checkpoint files truncated or bit-flipped between the
+// workers and the assembly — must assemble the very bytes an
+// uninterrupted single-process same-seed run exports, at 1-, 2- and
+// 4-shard shapes.
+func TestShardedAssemblyByteIdentical(t *testing.T) {
+	cfg := chaosConfig() // three countries, aggressive faults
+	wantJSONL, wantCSV, wantDet := baselineArtifacts(t, cfg)
+	codes := append([]string(nil), cfg.Countries...)
+
+	for _, shards := range []int{1, 2, 4} {
+		// Shard 0 owns the most countries, so it has the most
+		// completion boundaries to kill at.
+		boundaries := len(shard.Owned(codes, 0, shards))
+		for _, mode := range []string{"none", "truncate", "flip"} {
+			for kill := 1; kill <= boundaries; kill++ {
+				dir := t.TempDir()
+				// Crash shard 0 at its kill-th completion boundary,
+				// then restart it — the supervisor's job, inlined.
+				runShardWorker(t, cfg, dir, 0, shards, kill)
+				for s := 0; s < shards; s++ {
+					runShardWorker(t, cfg, dir, s, shards, 0)
+				}
+				if mode != "none" {
+					victim := corruptStored(t, dir, mode)
+					t.Logf("shards=%d mode=%s kill@%d: corrupted %s", shards, mode, kill, victim)
+				}
+				jsonl, csv, det, env := assemble(t, cfg, dir, nil)
+				tag := "shards=%d mode=%s kill@%d"
+				if !bytes.Equal(jsonl, wantJSONL) {
+					t.Errorf("JSONL diverged: "+tag, shards, mode, kill)
+				}
+				if !bytes.Equal(csv, wantCSV) {
+					t.Errorf("CSV diverged: "+tag, shards, mode, kill)
+				}
+				if !bytes.Equal(det, wantDet) {
+					t.Errorf("deterministic metrics diverged: "+tag, shards, mode, kill)
+				}
+				if mode != "none" {
+					if got := env.Metrics().Snapshot().Runtime.Shard.CheckpointsQuarantined; got != 1 {
+						t.Errorf("quarantine counter = %d, want 1: "+tag, got, shards, mode, kill)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedAssemblyRunsTopsites: the assembly pass of a sharded run
+// must reproduce a full single-process run including the Appendix D
+// topsites baseline — workers always skip topsites, assembly runs
+// them.
+func TestShardedAssemblyRunsTopsites(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.SkipTopsites = false
+	wantJSONL, wantCSV, wantDet := baselineArtifacts(t, cfg)
+
+	dir := t.TempDir()
+	for s := 0; s < 2; s++ {
+		runShardWorker(t, cfg, dir, s, 2, 0)
+	}
+	jsonl, csv, det, _ := assemble(t, cfg, dir, nil)
+	if !bytes.Equal(jsonl, wantJSONL) {
+		t.Error("JSONL diverged with topsites enabled")
+	}
+	if !bytes.Equal(csv, wantCSV) {
+		t.Error("CSV diverged with topsites enabled")
+	}
+	if !bytes.Equal(det, wantDet) {
+		t.Error("deterministic metrics diverged with topsites enabled")
+	}
+}
+
+// TestShardedDegradedPartialDataset: when a shard exhausts its restart
+// budget, the assembly emits a partial dataset with typed failure rows
+// for its uncollected countries — and countries the dead shard did
+// checkpoint before dying still load normally.
+func TestShardedDegradedPartialDataset(t *testing.T) {
+	cfg := chaosConfig()
+	codes := append([]string(nil), cfg.Countries...)
+	dir := t.TempDir()
+	// Shard 0 of 2 finishes; shard 1 never produces anything.
+	runShardWorker(t, cfg, dir, 0, 2, 0)
+
+	deadOwned := shard.Owned(codes, 1, 2)
+	acfg := cfg
+	acfg.CheckpointDir = dir
+	acfg.Resume = true
+	acfg.FailCountries = deadOwned
+	env := NewEnv(acfg)
+	out, err := env.Run(context.Background())
+	if err != nil {
+		t.Fatalf("degraded assembly must succeed with a partial dataset, got: %v", err)
+	}
+	for _, code := range deadOwned {
+		st := out.PerCountry[code]
+		if st == nil || !st.Failed {
+			t.Fatalf("dead shard's country %s lacks a typed failure row: %+v", code, st)
+		}
+		if !strings.Contains(st.FailureReason, "restart budget") {
+			t.Fatalf("country %s failure reason %q does not name the restart budget", code, st.FailureReason)
+		}
+		if len(out.Records) > 0 {
+			for _, r := range out.Records {
+				if r.Country == code {
+					t.Fatalf("failed country %s has records in the partial dataset", code)
+				}
+			}
+		}
+	}
+	// The surviving shard's countries are intact.
+	for _, code := range shard.Owned(codes, 0, 2) {
+		st := out.PerCountry[code]
+		if st == nil || st.Failed {
+			t.Fatalf("surviving country %s missing or failed: %+v", code, st)
+		}
+	}
+	// Failure accounting reaches the deterministic ledger.
+	snap := env.Metrics().Snapshot()
+	if got := snap.Deterministic.Pipeline.CountriesFailed; got < int64(len(deadOwned)) {
+		t.Fatalf("countries_failed = %d, want >= %d", got, len(deadOwned))
+	}
+	// The failure rows are transient: nothing new was persisted, so a
+	// later full assembly (no FailCountries) re-runs the countries and
+	// reproduces the uninterrupted baseline exactly.
+	wantJSONL, _, wantDet := baselineArtifacts(t, cfg)
+	jsonl, _, det, _ := assemble(t, cfg, dir, nil)
+	if !bytes.Equal(jsonl, wantJSONL) {
+		t.Error("JSONL diverged after recovering from a degraded run")
+	}
+	if !bytes.Equal(det, wantDet) {
+		t.Error("deterministic metrics diverged after recovering from a degraded run")
+	}
+}
+
+// TestShardedFailCountriesAlreadyStoredLoadNormally: listing a country
+// that did checkpoint before its shard died must not fail it — stored
+// work always wins.
+func TestShardedFailCountriesAlreadyStoredLoadNormally(t *testing.T) {
+	cfg := chaosConfig()
+	codes := append([]string(nil), cfg.Countries...)
+	wantJSONL, _, wantDet := baselineArtifacts(t, cfg)
+
+	dir := t.TempDir()
+	for s := 0; s < 2; s++ {
+		runShardWorker(t, cfg, dir, s, 2, 0)
+	}
+	// Every country is stored; flag shard 1's as failed anyway.
+	jsonl, _, det, env := assemble(t, cfg, dir, shard.Owned(codes, 1, 2))
+	if !bytes.Equal(jsonl, wantJSONL) {
+		t.Error("JSONL diverged when FailCountries named stored countries")
+	}
+	if !bytes.Equal(det, wantDet) {
+		t.Error("deterministic metrics diverged when FailCountries named stored countries")
+	}
+	if got := env.Metrics().Snapshot().Runtime.Shard.CheckpointsQuarantined; got != 0 {
+		t.Errorf("quarantine counter = %d, want 0", got)
+	}
+}

@@ -26,8 +26,11 @@ type hostTally struct {
 }
 
 // countryDone is one finished country on its way into the merge sink:
-// either fresh from runCountry (fork carries its deterministic metric
-// contribution) or reloaded from a checkpoint (delta carries it).
+// fresh from runCountry (fork carries its deterministic metric
+// contribution), reloaded from a checkpoint (loadedDelta carries it),
+// or a transient failure row synthesized for a country a dead shard
+// owned (never persisted — the failure is a fact about this run's
+// crashes, not about the seed).
 type countryDone struct {
 	code    string
 	stats   *dataset.CountryStats
@@ -38,7 +41,14 @@ type countryDone struct {
 	fork   *metrics.Registry   // fresh country's attributable counters; nil when metrics are off
 	loaded *checkpoint.Country // set for resume-loaded countries
 
-	parked bool // sat in pending behind an earlier country
+	// loadedDelta is a reloaded country's full deterministic
+	// contribution — its stored fork-only delta plus its recomputed
+	// share of the shared caches — fixed at complete() time, while the
+	// sink's union sets still advance in sorted-code load order.
+	loadedDelta metrics.Deterministic
+
+	transient bool // synthesized failure row: flush must not persist it
+	parked    bool // sat in pending behind an earlier country
 }
 
 // anycastSeenKey keys the sink's anycast union set; anycast verdicts
@@ -59,13 +69,19 @@ type anycastSeenKey struct {
 // canonical order without a final global sort.
 //
 // When a checkpoint store is attached, each fresh flush also persists
-// the country together with its deterministic metric delta: the fork's
-// directly-attributable counters plus a canonical share of the shared
-// caches, computed against the sink's union sets in store order (the
-// first stored country to touch a host/address owns its miss). The
-// deltas telescope — summed over any stored subset and combined with
-// the live counters of the re-run remainder, totals equal an
-// uninterrupted run's.
+// the country together with its directly-attributable deterministic
+// delta (the fork's counters) and its per-hostname resolution
+// outcomes. Shares of the shared caches are deliberately not stored:
+// they depend on which other countries are stored, which a shard
+// worker cannot know — another shard process may be claiming the same
+// hosts concurrently. Instead, the loading run recomputes each
+// reloaded country's share against its own union sets, in sorted-code
+// load order. Every shared quantity is set-level (misses = distinct
+// hosts, hits = lookups − distinct, negative entries = distinct failed
+// hosts, geolocation analogously per address), so the recomputed
+// totals are independent of attribution order — the property that
+// makes one-process resume, multi-generation resume and multi-shard
+// assembly all land on the same bytes.
 type mergeSink struct {
 	env     *Env
 	ds      *dataset.Dataset
@@ -106,11 +122,11 @@ func (s *mergeSink) complete(d *countryDone) error {
 	r := s.rank[d.code]
 	s.pending[r] = d
 	if d.loaded != nil {
-		// The stored delta already claimed this country's share of the
-		// shared caches; mark its hosts and addresses in the union sets
-		// now — before any fresh country flushes — so a later
-		// generation's stored deltas cannot claim the same misses twice.
-		s.markLoaded(d.loaded)
+		// Recompute the reloaded country's shared-cache share now, not
+		// at flush: all loaded completes run in sorted-code order before
+		// any worker starts, so the union-set claims are deterministic
+		// however fresh countries later interleave.
+		d.loadedDelta = s.loadedDelta(d.loaded)
 	}
 	if r != s.next && d.loaded == nil {
 		// Fresh completed work waiting on an earlier country is the
@@ -147,36 +163,20 @@ func (s *mergeSink) drain() error {
 	return nil
 }
 
-// markLoaded enters a reloaded country's hostnames and addresses into
-// the sink's union sets. Its stored delta owns their misses, so fresh
-// countries (and therefore their newly stored deltas) must see them as
-// already claimed.
-func (s *mergeSink) markLoaded(lc *checkpoint.Country) {
-	for i := range lc.Records {
-		r := &lc.Records[i]
-		s.seenHosts[r.Host] = true
-		if r.Anycast {
-			s.seenAny[anycastSeenKey{vantage: lc.Code, addr: r.IP}] = true
-		} else {
-			s.seenUni[r.IP] = true
-		}
-	}
-	for _, h := range lc.FailedHosts {
-		s.seenHosts[h.Host] = true
-	}
-}
-
 // flush applies one country to the dataset, absorbs its deterministic
 // metric contribution into the study registry, and — for fresh
 // countries with a store attached — persists it.
 //
-// The two paths feed the registry differently on purpose. A fresh
+// The three paths feed the registry differently on purpose. A fresh
 // country adds only its fork: its shared-cache share was already
 // recorded live (the caches' ledgers stay attached to the study
 // registry in every run, and a seeded entry reads as a plain hit, so
 // live recording telescopes with loaded deltas by itself). A reloaded
-// country ran nothing live, so its stored delta — fork plus canonical
-// cache share — re-enters wholesale.
+// country ran nothing live, so its recomputed delta — stored fork plus
+// this run's union-set share — re-enters wholesale. A transient
+// failure row carries no metrics and is never persisted: which shard
+// died is a fact about this run's crashes, not about the seed, so it
+// must not poison future resumes of the directory.
 func (s *mergeSink) flush(d *countryDone) error {
 	if d.parked {
 		s.env.pipelineMetrics().RecordsInFlight(-int64(len(d.records)))
@@ -188,21 +188,24 @@ func (s *mergeSink) flush(d *countryDone) error {
 	s.ds.MethodSAN += d.methods[govclass.MethodSAN]
 	s.ds.Discarded += d.methods[govclass.MethodDiscarded]
 
-	if d.loaded != nil {
-		// A reloaded country's shared-cache work was already canonical
-		// when stored; its delta re-enters wholesale. (Seeding happened
-		// before the workers started, metric-free.)
-		s.env.metrics.AddDeterministic(d.loaded.Delta)
-	} else {
+	switch {
+	case d.loaded != nil:
+		s.env.metrics.AddDeterministic(d.loadedDelta)
+	case d.transient:
+		// Nothing: the synthesized row's pipeline accounting was
+		// recorded directly by the caller.
+	default:
+		var forkDelta metrics.Deterministic
 		if d.fork != nil {
-			s.env.metrics.AddDeterministic(d.fork.Snapshot().Deterministic)
+			forkDelta = d.fork.Snapshot().Deterministic
+			s.env.metrics.AddDeterministic(forkDelta)
 		}
 		if s.store != nil {
 			cp := checkpoint.Country{
 				Code:    d.code,
 				Stats:   d.stats,
 				Records: d.records,
-				Delta:   s.canonicalDelta(d),
+				Delta:   forkDelta,
 			}
 			if len(d.methods) > 0 {
 				cp.Methods = make(map[string]int, len(d.methods))
@@ -212,7 +215,7 @@ func (s *mergeSink) flush(d *countryDone) error {
 			}
 			for _, h := range sortedHostKeys(d.hosts) {
 				if t := d.hosts[h]; t.failKind != "" {
-					cp.FailedHosts = append(cp.FailedHosts, checkpoint.HostOutcome{Host: h, FailKind: t.failKind})
+					cp.FailedHosts = append(cp.FailedHosts, checkpoint.HostOutcome{Host: h, FailKind: t.failKind, Lookups: t.lookups})
 				}
 			}
 			if err := s.store.Put(cp); err != nil {
@@ -226,23 +229,33 @@ func (s *mergeSink) flush(d *countryDone) error {
 	return nil
 }
 
-// canonicalDelta is the country's full deterministic contribution: the
-// fork's directly-attributable counters (scheduler items, fetches,
-// retries, fetch-kind and egress-flap injections, frontier, pipeline
-// rows) plus its canonical share of the shared resolution and
-// geolocation caches. The shared share is what the live study registry
-// recorded during the crawl only in aggregate — here it is re-derived
-// per country against the sink's union sets, so stored deltas sum to
-// the aggregate no matter which subset is stored.
-func (s *mergeSink) canonicalDelta(d *countryDone) metrics.Deterministic {
-	var delta metrics.Deterministic
-	if d.fork != nil {
-		delta = d.fork.Snapshot().Deterministic
+// loadedDelta is a reloaded country's full deterministic contribution:
+// the stored fork-only delta (scheduler items, fetches, retries,
+// fetch-kind and egress-flap injections, frontier, pipeline rows) plus
+// its share of the shared resolution and geolocation caches,
+// recomputed against this run's union sets. The per-host tallies
+// reconstruct exactly from the stored state — a resolved host's
+// lookups equal its record count (resolution is cached per host, so
+// its annotation outcomes are all-or-nothing) and failed hosts carry
+// their counts explicitly.
+func (s *mergeSink) loadedDelta(lc *checkpoint.Country) metrics.Deterministic {
+	delta := lc.Delta
+	hosts := make(map[string]*hostTally, len(lc.Records)+len(lc.FailedHosts))
+	for i := range lc.Records {
+		t := hosts[lc.Records[i].Host]
+		if t == nil {
+			t = &hostTally{}
+			hosts[lc.Records[i].Host] = t
+		}
+		t.lookups++
+	}
+	for _, h := range lc.FailedHosts {
+		hosts[h.Host] = &hostTally{lookups: h.Lookups, failKind: h.FailKind}
 	}
 
 	replayDNS := s.env.Faults != nil && s.env.Faults.Profile.DNSServfail > 0
-	for _, h := range sortedHostKeys(d.hosts) {
-		t := d.hosts[h]
+	for _, h := range sortedHostKeys(hosts) {
+		t := hosts[h]
 		delta.Cache.Lookups += t.lookups
 		if !s.seenHosts[h] {
 			s.seenHosts[h] = true
@@ -253,10 +266,10 @@ func (s *mergeSink) canonicalDelta(d *countryDone) metrics.Deterministic {
 				delta.Cache.NegativeHits += t.lookups - 1
 			}
 			if replayDNS {
-				// The study-wide resolver recorded this host's SERVFAIL
-				// injections live; the rolls are stateless hashes of
-				// (host, attempt), so the owning country's delta replays
-				// them exactly.
+				// The study-wide resolver records SERVFAIL injections
+				// live for the host's first resolver; the rolls are
+				// stateless hashes of (host, attempt), so the claiming
+				// country's delta replays them exactly.
 				if n := s.dnsInjectionsFor(h); n > 0 {
 					if delta.Faults.Injections == nil {
 						delta.Faults.Injections = map[string]int64{}
@@ -273,7 +286,7 @@ func (s *mergeSink) canonicalDelta(d *countryDone) metrics.Deterministic {
 	}
 
 	if !s.env.Config.TrustIPInfo {
-		s.addGeoDelta(d, &delta)
+		s.addGeoDelta(lc.Code, lc.Records, &delta)
 	}
 	return delta
 }
@@ -282,15 +295,15 @@ func (s *mergeSink) canonicalDelta(d *countryDone) metrics.Deterministic {
 // verdict caches, reconstructed from its records: every record issued
 // exactly one verdict lookup, keyed by address (unicast) or by
 // (vantage, address) (anycast), negative when the verdict is UR/EX.
-func (s *mergeSink) addGeoDelta(d *countryDone, delta *metrics.Deterministic) {
+func (s *mergeSink) addGeoDelta(code string, records []dataset.URLRecord, delta *metrics.Deterministic) {
 	type tally struct {
 		lookups  int64
 		negative bool
 	}
 	uni := map[netip.Addr]*tally{}
 	anyc := map[netip.Addr]*tally{}
-	for i := range d.records {
-		r := &d.records[i]
+	for i := range records {
+		r := &records[i]
 		m := uni
 		if r.Anycast {
 			m = anyc
@@ -335,7 +348,7 @@ func (s *mergeSink) addGeoDelta(d *countryDone, delta *metrics.Deterministic) {
 		return false
 	})
 	fold(&delta.Geo.Anycast, anyc, func(a netip.Addr) bool {
-		k := anycastSeenKey{vantage: d.code, addr: a}
+		k := anycastSeenKey{vantage: code, addr: a}
 		if s.seenAny[k] {
 			return true
 		}

@@ -32,6 +32,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/report":     true,
 	"repro/internal/metrics":    true, // the deterministic snapshot half is golden-compared
 	"repro/internal/checkpoint": true, // stored bytes must be seed-deterministic for resume identity
+	"repro/internal/shard":      true, // the country partition and backoff schedule feed assembly identity; supervisor wall-clock waits carry reasoned ignores
 	"repro/internal/rng":        true,
 	"repro/internal/analysis":   true,
 	"repro/internal/stats":      true,

@@ -204,6 +204,7 @@ type Registry struct {
 	Faults   FaultMetrics
 	Crawl    CrawlMetrics
 	Pipeline PipelineMetrics
+	Shard    ShardMetrics
 }
 
 // New builds an empty registry.
@@ -371,6 +372,40 @@ func (m *CrawlMetrics) urlsByDepth() []int64 {
 		out[i] = m.depths[i].Load()
 	}
 	return out
+}
+
+// ShardMetrics instruments the shard supervisor and the checkpoint
+// integrity machinery. Everything here is runtime by construction:
+// restarts count real process crashes and quarantines count real file
+// damage, neither of which is a function of the seed — so none of it
+// ever feeds golden comparisons.
+type ShardMetrics struct {
+	Restarts    Counter // crashed shard workers restarted by the supervisor
+	Exhausted   Counter // shards that ran out of restart budget
+	Quarantined Counter // checkpoint files quarantined at load
+}
+
+// RecordRestart counts one crashed worker restarted. Nil-safe.
+func (m *ShardMetrics) RecordRestart() {
+	if m != nil {
+		m.Restarts.Inc()
+	}
+}
+
+// RecordExhausted counts one shard whose restart budget ran dry.
+// Nil-safe.
+func (m *ShardMetrics) RecordExhausted() {
+	if m != nil {
+		m.Exhausted.Inc()
+	}
+}
+
+// RecordQuarantined counts checkpoint files quarantined during a load.
+// Nil-safe.
+func (m *ShardMetrics) RecordQuarantined(n int64) {
+	if m != nil && n > 0 {
+		m.Quarantined.Add(n)
+	}
 }
 
 // CountryCounters is one country's deterministic accounting row. The

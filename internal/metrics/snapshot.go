@@ -92,6 +92,7 @@ type Runtime struct {
 	Geo       GeoRuntime                   `json:"geo"`
 	Fetch     FetchRuntime                 `json:"fetch"`
 	Pipeline  PipelineRuntime              `json:"pipeline"`
+	Shard     ShardRuntime                 `json:"shard"`
 	Stages    map[string]HistogramSnapshot `json:"stages,omitempty"`
 	Countries map[string]CountryTimings    `json:"countries,omitempty"`
 }
@@ -128,6 +129,15 @@ type FetchRuntime struct {
 // memory guarantee.
 type PipelineRuntime struct {
 	RecordsInFlightHighWater int64 `json:"records_in_flight_high_water"`
+}
+
+// ShardRuntime is the crash-recovery slice: restarts and quarantines
+// count real-world damage (process crashes, torn files), so they can
+// never be deterministic — a healthy run reports zeros.
+type ShardRuntime struct {
+	Restarts               int64 `json:"restarts"`
+	Exhausted              int64 `json:"exhausted"`
+	CheckpointsQuarantined int64 `json:"checkpoints_quarantined"`
 }
 
 // Bucket is one histogram bucket; LE == -1 marks the overflow bucket.
@@ -210,6 +220,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.Runtime.Fetch = FetchRuntime{BudgetDenied: r.Fetch.BudgetDenied.Load()}
 	s.Runtime.Pipeline = PipelineRuntime{RecordsInFlightHighWater: r.Pipeline.InFlight.HighWater()}
+	s.Runtime.Shard = ShardRuntime{
+		Restarts:               r.Shard.Restarts.Load(),
+		Exhausted:              r.Shard.Exhausted.Load(),
+		CheckpointsQuarantined: r.Shard.Quarantined.Load(),
+	}
 	s.Runtime.Stages = r.Pipeline.stageSnapshots()
 	s.Runtime.Countries = r.Pipeline.timingSnapshots()
 	return s
@@ -297,6 +312,9 @@ func (s Snapshot) Text() string {
 	line("geo.anycast.coalesced", rt.Geo.Anycast.Coalesced)
 	line("fetch.budget_denied", rt.Fetch.BudgetDenied)
 	line("pipeline.records_in_flight_high_water", rt.Pipeline.RecordsInFlightHighWater)
+	line("shard.restarts", rt.Shard.Restarts)
+	line("shard.exhausted", rt.Shard.Exhausted)
+	line("shard.checkpoints_quarantined", rt.Shard.CheckpointsQuarantined)
 	for _, stage := range sortedKeys(rt.Stages) {
 		hist("stage."+stage, rt.Stages[stage])
 	}

@@ -1,0 +1,71 @@
+// Package shard implements crash-safe country-sharded execution: a
+// deterministic partition of the study's countries over n worker
+// processes, and a supervisor that spawns the workers, restarts the
+// ones that crash with capped seed-jittered backoff, and reports which
+// shards survived. Workers checkpoint into one shared directory (each
+// holding its own lease slot), so an assembly pass can load every
+// shard's finished countries through the ordinary resume path and
+// produce bytes identical to a single-process run.
+//
+// The split mirrors the metrics package's deterministic/runtime line:
+// the partition and the backoff schedule are pure functions of
+// (codes, shape, seed) and belong to the deterministic half; the
+// supervisor's process management — spawning, waiting, sleeping
+// between restarts — is wall-clock by nature and carries explicit
+// lint ignores.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Owned returns the country codes shard index owns under an n-way
+// split: the codes whose position in the sorted full list ≡ index
+// (mod count). The partition is a pure function of (codes, index,
+// count) — every worker and the assembly pass agree on it without
+// coordination — and a count of one (or less) owns everything.
+func Owned(codes []string, index, count int) []string {
+	sorted := append([]string(nil), codes...)
+	sort.Strings(sorted)
+	if count <= 1 {
+		return sorted
+	}
+	var out []string
+	for i, code := range sorted {
+		if i%count == index {
+			out = append(out, code)
+		}
+	}
+	return out
+}
+
+// Backoff returns the delay before restart number restart (1-based) of
+// one shard: capped exponential growth from base with a seeded jitter
+// factor in [0.5, 1.5), so sibling shards crashing together do not
+// thunder back together. The schedule is a pure function of
+// (seed, shard, restart) — reproducible across supervisor runs.
+func Backoff(seed int64, shard, restart int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	d := base
+	for i := 1; i < restart && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	r := rng.New(seed, fmt.Sprintf("shard-backoff-%d-%d", shard, restart))
+	jittered := time.Duration(float64(d) * (0.5 + r.Float64()))
+	if jittered > cap {
+		jittered = cap
+	}
+	return jittered
+}

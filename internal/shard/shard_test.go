@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestOwnedPartitionsSortedCodes(t *testing.T) {
+	codes := []string{"UY", "NG", "US", "DE", "FR"}
+	var union []string
+	seen := map[string]int{}
+	for i := 0; i < 3; i++ {
+		owned := Owned(codes, i, 3)
+		union = append(union, owned...)
+		for _, c := range owned {
+			seen[c]++
+		}
+	}
+	if len(union) != len(codes) {
+		t.Fatalf("partition covers %d codes, want %d", len(union), len(codes))
+	}
+	for c, n := range seen {
+		if n != 1 {
+			t.Fatalf("code %s owned by %d shards", c, n)
+		}
+	}
+	// Ownership keys on sorted position, not input order.
+	if got := Owned([]string{"US", "NG", "UY"}, 0, 2); !reflect.DeepEqual(got, []string{"NG", "UY"}) {
+		t.Fatalf("Owned(0/2) = %v, want [NG UY]", got)
+	}
+	if got := Owned([]string{"US", "NG", "UY"}, 1, 2); !reflect.DeepEqual(got, []string{"US"}) {
+		t.Fatalf("Owned(1/2) = %v, want [US]", got)
+	}
+}
+
+func TestOwnedSingleShardOwnsEverythingSorted(t *testing.T) {
+	got := Owned([]string{"UY", "NG", "US"}, 0, 1)
+	want := append([]string(nil), "NG", "US", "UY")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Owned(0/1) = %v, want %v", got, want)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("owned codes unsorted: %v", got)
+	}
+}
+
+func TestBackoffDeterministicCappedAndGrowing(t *testing.T) {
+	base, cap := 100*time.Millisecond, time.Second
+	var prevCeil time.Duration
+	for restart := 1; restart <= 8; restart++ {
+		d := Backoff(42, 1, restart, base, cap)
+		if d != Backoff(42, 1, restart, base, cap) {
+			t.Fatalf("restart %d: backoff not deterministic", restart)
+		}
+		if d > cap {
+			t.Fatalf("restart %d: %v exceeds cap %v", restart, d, cap)
+		}
+		if d < base/2 {
+			t.Fatalf("restart %d: %v below the jitter floor", restart, d)
+		}
+		// The un-jittered ceiling doubles until the cap; the jittered
+		// value stays within 1.5× of it.
+		ceil := base
+		for i := 1; i < restart && ceil < cap; i++ {
+			ceil *= 2
+		}
+		if ceil > cap {
+			ceil = cap
+		}
+		if d > time.Duration(float64(ceil)*1.5) {
+			t.Fatalf("restart %d: %v above jittered ceiling of %v", restart, d, ceil)
+		}
+		if ceil < prevCeil {
+			t.Fatalf("ceiling shrank at restart %d", restart)
+		}
+		prevCeil = ceil
+	}
+	if Backoff(42, 1, 2, base, cap) == Backoff(43, 1, 2, base, cap) &&
+		Backoff(42, 1, 3, base, cap) == Backoff(43, 1, 3, base, cap) {
+		t.Fatal("different seeds produced identical backoff schedules")
+	}
+}

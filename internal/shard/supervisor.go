@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Supervisor spawns one worker process per shard, watches their exits,
+// and restarts crashed workers with capped seed-jittered backoff. A
+// shard that exhausts its restart budget is reported in its Outcome
+// instead of aborting the run — the surviving shards finish and the
+// caller degrades to a partial dataset with typed failure accounting.
+type Supervisor struct {
+	// Shards is the number of worker processes (and lease slots).
+	Shards int
+	// MaxRestarts caps how many times one crashed shard is restarted;
+	// zero means the default of 3, negative disables restarts.
+	MaxRestarts int
+	// BackoffBase and BackoffCap bound the restart delay; zero values
+	// default to 250ms and 5s.
+	BackoffBase, BackoffCap time.Duration
+	// Seed jitters the backoff schedule deterministically.
+	Seed int64
+	// Command builds the worker process for one shard. The returned
+	// command must terminate when ctx is cancelled (exec.CommandContext
+	// does).
+	Command func(ctx context.Context, shard, shards int) *exec.Cmd
+	// Metrics receives restart and exhaustion counts; nil records
+	// nothing.
+	Metrics *metrics.ShardMetrics
+	// Log, when set, receives one line per crash, restart and
+	// exhaustion.
+	Log io.Writer
+}
+
+// Outcome is one shard's supervision result.
+type Outcome struct {
+	Shard    int
+	Restarts int
+	// Err is nil when the shard's worker eventually exited cleanly;
+	// otherwise the last exit error after the restart budget ran dry
+	// (or the cancellation error).
+	Err error
+}
+
+// defaultMaxRestarts bounds how often one shard is revived: three
+// restarts distinguishes a transient crash from a systematically dying
+// worker without letting a broken binary spin forever.
+const defaultMaxRestarts = 3
+
+// Run supervises the fleet until every shard either exits cleanly,
+// exhausts its restarts, or the context is cancelled. The returned
+// outcomes are ordered by shard index. The error is non-nil only for
+// configuration mistakes or cancellation — crashed shards are data
+// (Outcome.Err), not failure.
+func (s *Supervisor) Run(ctx context.Context) ([]Outcome, error) {
+	if s.Shards <= 0 {
+		return nil, errors.New("shard: supervisor needs a positive shard count")
+	}
+	if s.Command == nil {
+		return nil, errors.New("shard: supervisor needs a worker command factory")
+	}
+	maxRestarts := s.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = defaultMaxRestarts
+	}
+	if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+
+	outcomes := make([]Outcome, s.Shards)
+	wait := sched.Workers(s.Shards, func(w int) {
+		outcomes[w] = s.superviseOne(ctx, w, maxRestarts)
+	})
+	wait()
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	return outcomes, nil
+}
+
+// superviseOne runs one shard's spawn/wait/restart loop to its
+// conclusion.
+func (s *Supervisor) superviseOne(ctx context.Context, w, maxRestarts int) Outcome {
+	o := Outcome{Shard: w}
+	for {
+		err := s.Command(ctx, w, s.Shards).Run()
+		if err == nil {
+			return o
+		}
+		if ctx.Err() != nil {
+			o.Err = ctx.Err()
+			return o
+		}
+		if o.Restarts >= maxRestarts {
+			s.Metrics.RecordExhausted()
+			s.logf("shard %d/%d: exhausted %d restarts; degrading to a partial run (last exit: %v)", w, s.Shards, o.Restarts, err)
+			o.Err = fmt.Errorf("shard %d/%d exhausted its restart budget (%d restarts): %w", w, s.Shards, o.Restarts, err)
+			return o
+		}
+		o.Restarts++
+		s.Metrics.RecordRestart()
+		delay := Backoff(s.Seed, w, o.Restarts, s.BackoffBase, s.BackoffCap)
+		s.logf("shard %d/%d: worker crashed (%v); restart %d/%d in %v", w, s.Shards, err, o.Restarts, maxRestarts, delay)
+		if !sleepCtx(ctx, delay) {
+			o.Err = ctx.Err()
+			return o
+		}
+	}
+}
+
+// sleepCtx waits out a restart delay, reporting false when the context
+// was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	//lint:ignore nondeterminism -- the supervisor's restart backoff stalls on the wall clock between real process crashes; it manages runtime process lifecycle and never feeds golden output
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// logf writes one supervision event line when a log sink is attached.
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, "shard: "+format+"\n", args...)
+	}
+}

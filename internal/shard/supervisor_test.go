@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// shCommand builds a Command factory running one shell script per
+// shard, with $SHARD exported.
+func shCommand(script string) func(ctx context.Context, shard, shards int) *exec.Cmd {
+	return func(ctx context.Context, shard, shards int) *exec.Cmd {
+		cmd := exec.CommandContext(ctx, "sh", "-c", script)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("SHARD=%d", shard))
+		return cmd
+	}
+}
+
+func TestSupervisorRestartsCrashedWorkerOnce(t *testing.T) {
+	marker := filepath.Join(t.TempDir(), "crashed-once")
+	var reg metrics.Registry
+	sup := &Supervisor{
+		Shards: 2, Seed: 42,
+		BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+		Metrics: &reg.Shard,
+		// Shard 1 crashes on its first life, then exits cleanly; shard
+		// 0 always succeeds.
+		Command: shCommand(fmt.Sprintf(
+			`if [ "$SHARD" = 1 ] && [ ! -e %q ]; then touch %q; exit 3; fi; exit 0`, marker, marker)),
+	}
+	outcomes, err := sup.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outcomes))
+	}
+	if o := outcomes[0]; o.Err != nil || o.Restarts != 0 {
+		t.Fatalf("healthy shard outcome: %+v", o)
+	}
+	if o := outcomes[1]; o.Err != nil || o.Restarts != 1 {
+		t.Fatalf("crashed-once shard outcome: %+v", o)
+	}
+	if got := reg.Shard.Restarts.Load(); got != 1 {
+		t.Fatalf("restart counter = %d, want 1", got)
+	}
+	if got := reg.Shard.Exhausted.Load(); got != 0 {
+		t.Fatalf("exhausted counter = %d, want 0", got)
+	}
+}
+
+func TestSupervisorExhaustsRestartBudgetAndDegrades(t *testing.T) {
+	var reg metrics.Registry
+	sup := &Supervisor{
+		Shards: 2, MaxRestarts: 2, Seed: 42,
+		BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+		Metrics: &reg.Shard,
+		Command: shCommand(`if [ "$SHARD" = 0 ]; then exit 7; fi; exit 0`),
+	}
+	outcomes, err := sup.Run(context.Background())
+	if err != nil {
+		t.Fatalf("an exhausted shard must degrade, not abort: %v", err)
+	}
+	dead := outcomes[0]
+	if dead.Err == nil || dead.Restarts != 2 {
+		t.Fatalf("exhausted shard outcome: %+v", dead)
+	}
+	if o := outcomes[1]; o.Err != nil {
+		t.Fatalf("surviving shard outcome: %+v", o)
+	}
+	if got := reg.Shard.Restarts.Load(); got != 2 {
+		t.Fatalf("restart counter = %d, want 2", got)
+	}
+	if got := reg.Shard.Exhausted.Load(); got != 1 {
+		t.Fatalf("exhausted counter = %d, want 1", got)
+	}
+}
+
+func TestSupervisorCancellationStopsRestarting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sup := &Supervisor{
+		Shards: 1, Seed: 42,
+		Command: shCommand(`exit 1`),
+	}
+	outcomes, err := sup.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled supervision returned no error")
+	}
+	if outcomes[0].Err == nil {
+		t.Fatalf("cancelled shard outcome: %+v", outcomes[0])
+	}
+}

@@ -1,0 +1,141 @@
+package govhost
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// Sharding configures a supervised multi-process run: n worker
+// processes each collect the countries whose index in the sorted study
+// panel is congruent to their shard number, checkpointing into the
+// shared Config.CheckpointDir; a final in-process assembly pass merges
+// the checkpoints into a Study whose exports are byte-identical to an
+// uninterrupted single-process run of the same Config.
+type Sharding struct {
+	// Shards is the number of worker processes to supervise.
+	Shards int
+	// MaxRestarts caps restarts per crashed shard (0 = default of 3,
+	// negative = never restart). A shard that exhausts the budget does
+	// not abort the run: its uncollected countries become typed failure
+	// rows in the assembled partial dataset.
+	MaxRestarts int
+	// BackoffBase and BackoffCap bound the seed-jittered exponential
+	// restart delay (defaults 250ms and 5s).
+	BackoffBase, BackoffCap time.Duration
+	// Worker builds the worker process for one shard — typically the
+	// running binary re-executed with a -shard i/n flag. The command
+	// must honour ctx cancellation (exec.CommandContext does).
+	Worker func(ctx context.Context, shard, shards int) *exec.Cmd
+	// Log, when set, receives one line per worker crash, restart and
+	// exhaustion.
+	Log io.Writer
+}
+
+// RunShardWorker executes one shard's share of the study in-process:
+// the worker collects only its owned countries, skips the topsites
+// baseline (the assembly pass runs it), and persists every finished
+// country into cfg.CheckpointDir. It returns how many countries the
+// worker holds finished checkpoints for — its own plus any it found
+// already stored on resume.
+func RunShardWorker(ctx context.Context, cfg Config, shardIndex, shards int) (int, error) {
+	ccfg := cfg.toCore()
+	ccfg.ShardIndex = shardIndex
+	ccfg.ShardCount = shards
+	env := core.NewEnv(ccfg)
+	ds, err := env.Run(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("govhost: shard %d/%d: %w", shardIndex, shards, err)
+	}
+	return len(ds.PerCountry), nil
+}
+
+// RunSharded validates the checkpoint directory, supervises sh.Shards
+// worker processes to completion (restarting crashes with capped
+// backoff), then assembles the checkpoints into a Study. Shards that
+// exhaust their restart budget degrade the run instead of failing it:
+// their countries appear as Failed rows with a typed reason, and the
+// per-shard outcomes report what happened. The error is non-nil only
+// for configuration mistakes, cancellation, or an assembly failure.
+func RunSharded(ctx context.Context, cfg Config, sh Sharding) (*Study, []shard.Outcome, error) {
+	if cfg.CheckpointDir == "" {
+		return nil, nil, errors.New("govhost: sharded runs need Config.CheckpointDir")
+	}
+	if sh.Shards <= 0 {
+		return nil, nil, errors.New("govhost: Sharding.Shards must be positive")
+	}
+	if sh.Worker == nil {
+		return nil, nil, errors.New("govhost: Sharding.Worker must build the shard worker command")
+	}
+
+	// Validate the directory once up front — a stale manifest or a live
+	// lease should fail the launch with one clear error, not n worker
+	// crash loops.
+	ccfg := cfg.toCore()
+	manifest := core.StudyManifest(ccfg)
+	if _, _, err := checkpoint.Open(cfg.CheckpointDir, manifest, checkpoint.Options{
+		Resume:       cfg.Resume,
+		ValidateOnly: true,
+	}); err != nil {
+		return nil, nil, fmt.Errorf("govhost: %w", err)
+	}
+
+	var sm metrics.ShardMetrics
+	sup := &shard.Supervisor{
+		Shards:      sh.Shards,
+		MaxRestarts: sh.MaxRestarts,
+		BackoffBase: sh.BackoffBase,
+		BackoffCap:  sh.BackoffCap,
+		Seed:        manifest.Seed,
+		Command:     sh.Worker,
+		Metrics:     &sm,
+		Log:         sh.Log,
+	}
+	outcomes, err := sup.Run(ctx)
+	if err != nil {
+		return nil, outcomes, fmt.Errorf("govhost: %w", err)
+	}
+
+	// Countries owned by exhausted shards that never reached a
+	// checkpoint become typed failure rows; any the dead shard did
+	// store load normally — stored work always wins.
+	var failed []string
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed = append(failed, shard.Owned(manifest.Countries, o.Shard, sh.Shards)...)
+		}
+	}
+
+	acfg := ccfg
+	acfg.Resume = true
+	acfg.FailCountries = failed
+	env := core.NewEnv(acfg)
+	ds, err := env.Run(ctx)
+	if err != nil {
+		return nil, outcomes, fmt.Errorf("govhost: assembly: %w", err)
+	}
+	// Fold the supervision tallies into the assembled study's runtime
+	// metrics so one snapshot tells the whole story.
+	if reg := env.Metrics(); reg != nil {
+		reg.Shard.Restarts.Add(sm.Restarts.Load())
+		reg.Shard.Exhausted.Add(sm.Exhausted.Load())
+	}
+	return &Study{cfg: cfg, env: env, ds: ds}, outcomes, nil
+}
+
+// FailedCountries returns the sorted codes of countries whose
+// collection failed wholesale — a vantage that never came up, or a
+// shard that exhausted its restart budget. Empty for a fully collected
+// study. The affected countries carry no records; everything else in
+// the study is complete.
+func (s *Study) FailedCountries() []string {
+	return append([]string(nil), s.ds.FailedCountries...)
+}

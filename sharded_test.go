@@ -1,0 +1,204 @@
+package govhost
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The multi-process sharding tests re-execute this test binary as the
+// shard worker. TestMain intercepts the re-execution before any test
+// runs: when the worker env var is set, the process is a shard worker,
+// not a test run.
+const (
+	shardWorkerEnv = "GOVHOST_TEST_SHARD_WORKER" // "i/n:<checkpoint dir>"
+	shardCrashEnv  = "GOVHOST_TEST_SHARD_CRASH"  // "once:<marker file>" or "always"
+)
+
+func TestMain(m *testing.M) {
+	if spec := os.Getenv(shardWorkerEnv); spec != "" {
+		shardWorkerMain(spec)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// execShardConfig is the study both the supervisor-side tests and the
+// re-executed workers run; the two must agree or the checkpoint
+// manifest refuses the workers.
+func execShardConfig() Config {
+	return Config{
+		Seed:         7,
+		Scale:        0.02,
+		Countries:    []string{"US", "UY", "NG"},
+		FaultProfile: "mild",
+		SkipTopsites: true,
+	}
+}
+
+func shardWorkerMain(spec string) {
+	switch crash, marker, _ := strings.Cut(os.Getenv(shardCrashEnv), ":"); crash {
+	case "always":
+		os.Exit(3)
+	case "once":
+		if _, err := os.Stat(marker); err != nil {
+			if err := os.WriteFile(marker, []byte("crashed\n"), 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "shard worker:", err)
+				os.Exit(1)
+			}
+			os.Exit(3)
+		}
+	}
+	shape, dir, ok := strings.Cut(spec, ":")
+	idxStr, nStr, ok2 := strings.Cut(shape, "/")
+	idx, ierr := strconv.Atoi(idxStr)
+	n, nerr := strconv.Atoi(nStr)
+	if !ok || !ok2 || ierr != nil || nerr != nil {
+		fmt.Fprintf(os.Stderr, "shard worker: bad spec %q\n", spec)
+		os.Exit(1)
+	}
+	cfg := execShardConfig()
+	cfg.CheckpointDir = dir
+	if _, err := RunShardWorker(context.Background(), cfg, idx, n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// execWorker builds a Worker factory that re-executes the test binary
+// as a shard worker over dir. crashEnv, when non-empty, is the
+// shardCrashEnv value injected into the given shard only.
+func execWorker(t *testing.T, dir, crashEnv string, crashShard int) func(context.Context, int, int) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(ctx context.Context, shard, shards int) *exec.Cmd {
+		cmd := exec.CommandContext(ctx, exe)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d/%d:%s", shardWorkerEnv, shard, shards, dir))
+		if crashEnv != "" && shard == crashShard {
+			cmd.Env = append(cmd.Env, shardCrashEnv+"="+crashEnv)
+		}
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+func studyArtifacts(t *testing.T, s *Study) (jsonl, det []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := s.Metrics()
+	if !ok {
+		t.Fatal("study has no metrics snapshot")
+	}
+	det, err := snap.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), det
+}
+
+// TestRunShardedMultiProcess drives the real thing: two worker
+// processes over a shared checkpoint directory, one crashing on its
+// first spawn, the supervisor restarting it — and the assembled study
+// must export the bytes an uninterrupted in-process run exports.
+func TestRunShardedMultiProcess(t *testing.T) {
+	cfg := execShardConfig()
+	base, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL, wantDet := studyArtifacts(t, base)
+
+	dir := t.TempDir()
+	marker := filepath.Join(t.TempDir(), "crashed-once")
+	scfg := cfg
+	scfg.CheckpointDir = dir
+	study, outcomes, err := RunSharded(context.Background(), scfg, Sharding{
+		Shards:      2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Worker:      execWorker(t, dir, "once:"+marker, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("shard %d ended in error: %v", o.Shard, o.Err)
+		}
+	}
+	if outcomes[1].Restarts != 1 {
+		t.Fatalf("crash-once shard restarted %d times, want 1", outcomes[1].Restarts)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("crash marker missing — the worker never crashed: %v", err)
+	}
+
+	jsonl, det := studyArtifacts(t, study)
+	if !bytes.Equal(jsonl, wantJSONL) {
+		t.Error("sharded JSONL diverged from the single-process run")
+	}
+	if !bytes.Equal(det, wantDet) {
+		t.Error("sharded deterministic metrics diverged from the single-process run")
+	}
+	snap, _ := study.Metrics()
+	if snap.Runtime.Shard.Restarts != 1 {
+		t.Errorf("runtime shard.restarts = %d, want 1", snap.Runtime.Shard.Restarts)
+	}
+	if snap.Runtime.Shard.Exhausted != 0 {
+		t.Errorf("runtime shard.exhausted = %d, want 0", snap.Runtime.Shard.Exhausted)
+	}
+}
+
+// TestRunShardedExhaustedShardDegrades: a worker that crashes on every
+// spawn runs its restart budget dry; the run still assembles, with the
+// dead shard's countries as typed failure rows.
+func TestRunShardedExhaustedShardDegrades(t *testing.T) {
+	cfg := execShardConfig()
+	dir := t.TempDir()
+	scfg := cfg
+	scfg.CheckpointDir = dir
+	study, outcomes, err := RunSharded(context.Background(), scfg, Sharding{
+		Shards:      2,
+		MaxRestarts: 1,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Worker:      execWorker(t, dir, "always", 1),
+	})
+	if err != nil {
+		t.Fatalf("an exhausted shard must degrade the run, not fail it: %v", err)
+	}
+	if outcomes[0].Err != nil {
+		t.Fatalf("healthy shard failed: %v", outcomes[0].Err)
+	}
+	if outcomes[1].Err == nil || outcomes[1].Restarts != 1 {
+		t.Fatalf("always-crashing shard outcome = %+v, want 1 restart and an error", outcomes[1])
+	}
+	snap, _ := study.Metrics()
+	if snap.Runtime.Shard.Exhausted != 1 {
+		t.Errorf("runtime shard.exhausted = %d, want 1", snap.Runtime.Shard.Exhausted)
+	}
+
+	// Shard 1 of 2 owns the middle of the sorted panel [NG US UY].
+	if got := study.FailedCountries(); len(got) != 1 || got[0] != "US" {
+		t.Fatalf("failed countries = %v, want exactly [US]", got)
+	}
+	for _, r := range study.ds.Records {
+		if r.Country == "US" {
+			t.Fatal("failed country US contributed records to the partial dataset")
+		}
+	}
+}
