@@ -1,0 +1,211 @@
+// Command govserve is the always-on analysis daemon: it loads a study
+// — from an exported JSONL file, from a checkpoint directory, or by
+// running the pipeline at startup — and serves every index-backed
+// figure and table as an HTTP/JSON API. The loaded study is an
+// immutable snapshot behind an atomic pointer; POST /admin/reload (or
+// SIGHUP) swaps in a fresh snapshot without dropping in-flight
+// requests, and SIGTERM drains cleanly.
+//
+// Usage:
+//
+//	govserve -from-jsonl study.jsonl -addr 127.0.0.1:8080
+//	govserve -from-checkpoint ckpt/ -seed 42 -scale 0.05
+//	govserve -run -seed 42 -scale 0.02 -countries US,MX,BR
+//	curl localhost:8080/api/fig2
+//	curl -X POST 'localhost:8080/admin/reload?jsonl=other.jsonl'
+//
+// The same binary doubles as the load harness:
+//
+//	govserve -loadgen -base http://127.0.0.1:8080 -requests 20000 \
+//	  -verify study.jsonl,other.jsonl -reload-at 10000 \
+//	  -reload-to 'jsonl=other.jsonl' -out BENCH.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	govhost "repro"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address; port 0 picks a free port")
+		fromJSONL = flag.String("from-jsonl", "", "serve a saved dataset export")
+		fromCkpt  = flag.String("from-checkpoint", "", "resume (and complete) the study in this checkpoint directory, then serve it")
+		runStudy  = flag.Bool("run", false, "run the pipeline at startup and serve the result")
+		seed      = flag.Int64("seed", 42, "study seed for -run / -from-checkpoint manifest matching")
+		scale     = flag.Float64("scale", 0.1, "study scale for -run / -from-checkpoint manifest matching")
+		countries = flag.String("countries", "", "comma-separated ISO codes for -run / -from-checkpoint")
+		workers   = flag.Int("workers", 0, "concurrent request renders; excess requests queue (default 8)")
+
+		lgMode     = flag.Bool("loadgen", false, "run as the load harness against -base instead of serving")
+		base       = flag.String("base", "", "loadgen: daemon base URL")
+		requests   = flag.Int("requests", 10000, "loadgen: total requests")
+		lgConc     = flag.Int("concurrency", 8, "loadgen: client workers")
+		verify     = flag.String("verify", "", "loadgen: comma-separated JSONL files covering every version the daemon may serve")
+		reloadAt   = flag.Int("reload-at", 0, "loadgen: fire POST /admin/reload before this request index (0 = never)")
+		reloadTo = flag.String("reload-to", "", "loadgen: reload selector, e.g. 'jsonl=/path/b.jsonl'")
+		outPath  = flag.String("out", "", "loadgen: write the result JSON here (default stdout)")
+	)
+	flag.Parse()
+
+	if *lgMode {
+		if err := runLoadgen(*base, *requests, *lgConc, *seed, *verify, *reloadAt, *reloadTo, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "govserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runDaemon(*addr, *fromJSONL, *fromCkpt, *runStudy, *seed, *scale, *countries, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "govserve:", err)
+		os.Exit(1)
+	}
+}
+
+func studyConfig(seed int64, scale float64, countries string) govhost.Config {
+	cfg := govhost.Config{Seed: seed, Scale: scale}
+	if countries != "" {
+		cfg.Countries = strings.Split(countries, ",")
+	}
+	return cfg
+}
+
+func runDaemon(addr, fromJSONL, fromCkpt string, runStudy bool, seed int64, scale float64, countries string, workers int) error {
+	ctx := context.Background()
+	cfg := studyConfig(seed, scale, countries)
+
+	var (
+		snap *serve.Snapshot
+		src  serve.Source // what SIGHUP re-loads
+		err  error
+	)
+	switch {
+	case fromJSONL != "":
+		snap, err = govhost.ServeSnapshotFromJSONL(fromJSONL)
+		src = serve.Source{Kind: "jsonl", Path: fromJSONL}
+	case fromCkpt != "":
+		c := cfg
+		c.CheckpointDir = fromCkpt
+		snap, err = govhost.ServeSnapshotFromCheckpoint(ctx, c)
+		src = serve.Source{Kind: "checkpoint", Path: fromCkpt}
+	case runStudy:
+		var st *govhost.Study
+		st, err = govhost.Run(ctx, cfg)
+		if err == nil {
+			snap, err = govhost.NewServeSnapshot(st, fmt.Sprintf("run:seed=%d,scale=%g", seed, scale))
+		}
+	default:
+		return fmt.Errorf("pass one of -from-jsonl, -from-checkpoint, or -run")
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Snapshot: snap,
+		Workers:  workers,
+		Reloader: govhost.ServeReloader(cfg),
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("govserve: listening on http://%s version=%s source=%s\n",
+		ln.Addr(), snap.Version(), snap.Desc())
+
+	errc := make(chan error, 1)
+	wait := sched.Workers(1, func(int) { errc <- srv.Serve(ln) })
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			wait()
+			return err
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if src.Kind == "" {
+					fmt.Fprintln(os.Stderr, "govserve: SIGHUP ignored: started from -run, nothing to reload from")
+					continue
+				}
+				next, rerr := srv.Reload(ctx, src)
+				if rerr != nil {
+					fmt.Fprintln(os.Stderr, "govserve: reload failed, keeping current snapshot:", rerr)
+					continue
+				}
+				fmt.Printf("govserve: reloaded version=%s\n", next.Version())
+				continue
+			}
+			shutdownCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+			defer cancel()
+			serr := srv.Shutdown(shutdownCtx)
+			wait()
+			<-errc // Serve's return, unblocked by Shutdown
+			if serr != nil {
+				return serr
+			}
+			fmt.Println("govserve: drained")
+			return nil
+		}
+	}
+}
+
+func runLoadgen(base string, requests, concurrency int, seed int64, verify string, reloadAt int, reloadTo, outPath string) error {
+	if base == "" {
+		return fmt.Errorf("-loadgen requires -base")
+	}
+	if verify == "" {
+		return fmt.Errorf("-loadgen requires -verify")
+	}
+	var snaps []*serve.Snapshot
+	for _, path := range strings.Split(verify, ",") {
+		snap, err := govhost.ServeSnapshotFromJSONL(path)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, snap)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     base,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Seed:        seed,
+		Verify:      snaps,
+		ReloadAt:    reloadAt,
+		ReloadQuery: reloadTo,
+	})
+	if err != nil {
+		return err
+	}
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, body, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(body)
+	}
+	if res.Failed > 0 || res.Mismatches > 0 {
+		return fmt.Errorf("load run saw %d failures, %d mismatches", res.Failed, res.Mismatches)
+	}
+	return nil
+}

@@ -94,29 +94,10 @@ func (s *Study) reportTable3() string {
 }
 
 // geoValidationStats folds the dataset's verdicts into Table 4's
-// unique-address accounting. A unicast verdict is a property of the
-// address alone — the prober answers every vantage from one cached
-// probe sequence — so an address serving several governments counts
-// once, not once per country. Anycast verification is per vantage, so
-// those dedupe on (country, address).
+// unique-address accounting; the fold itself lives in analysis so the
+// serving daemon shares it.
 func geoValidationStats(ds *dataset.Dataset) probing.Stats {
-	var st probing.Stats
-	seen := map[string]bool{}
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		key := r.IP.String()
-		if r.Anycast {
-			key = r.Country + "/" + key
-		}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		v := probing.Verdict{Addr: r.IP, Anycast: r.Anycast,
-			Country: r.ServeCountry, Method: probing.Method(r.GeoMethod)}
-		st.Observe(v)
-	}
-	return st
+	return analysis.GeoValidation(ds)
 }
 
 func (s *Study) reportTable4() string {

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/probing"
+)
+
+// GeoValidation folds the dataset's geolocation verdicts into Table
+// 4's unique-address accounting. A unicast verdict is a property of
+// the address alone — the prober answers every vantage from one cached
+// probe sequence — so an address serving several governments counts
+// once, not once per country. Anycast verification is per vantage, so
+// those dedupe on (country, address). Shared by the report renderer
+// and the serving daemon's /api/table4 endpoint.
+func GeoValidation(ds *dataset.Dataset) probing.Stats {
+	var st probing.Stats
+	seen := map[string]bool{}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		key := r.IP.String()
+		if r.Anycast {
+			key = r.Country + "/" + key
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		v := probing.Verdict{Addr: r.IP, Anycast: r.Anycast,
+			Country: r.ServeCountry, Method: probing.Method(r.GeoMethod)}
+		st.Observe(v)
+	}
+	return st
+}

@@ -411,6 +411,23 @@ func (s *Store) sweepOrphans() error {
 	return nil
 }
 
+// MismatchError reports the first manifest field on which a checkpoint
+// directory diverges from the configuration trying to use it. It is a
+// typed error so callers layered far above Open — the serving daemon's
+// /admin/reload, which must answer a mismatched directory with a 409
+// naming the field — can recover Field/Stored/Want with errors.As
+// instead of parsing the message.
+type MismatchError struct {
+	Field  string // json name of the first divergent manifest field
+	Stored string // the directory's value, rendered
+	Want   string // the requesting configuration's value, rendered
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("checkpoint: manifest mismatch: %s: directory holds %s, run wants %s",
+		e.Field, e.Stored, e.Want)
+}
+
 // match compares the stored manifest against the requested one
 // field-by-field, naming the first divergent parameter and both
 // values.
@@ -426,8 +443,11 @@ func match(stored, want Manifest) error {
 		if name == "" {
 			name = t.Field(i).Name
 		}
-		return fmt.Errorf("checkpoint: manifest mismatch: %s: directory holds %v, run wants %v",
-			name, sv.Field(i).Interface(), wv.Field(i).Interface())
+		return &MismatchError{
+			Field:  name,
+			Stored: fmt.Sprint(sv.Field(i).Interface()),
+			Want:   fmt.Sprint(wv.Field(i).Interface()),
+		}
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/rng":        true,
 	"repro/internal/analysis":   true,
 	"repro/internal/stats":      true,
+	"repro/internal/serve":      true, // response bodies are pure functions of (version, endpoint, params); latency timestamps carry reasoned ignores
 	"repro/internal/cluster":    true,
 	"repro/internal/govclass":   true,
 	"repro/internal/har":        true,

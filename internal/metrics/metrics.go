@@ -28,6 +28,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,10 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count reads how many durations were observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Snapshot freezes the histogram for callers outside the registry —
+// the serving load generator reports its client-side latency this way.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
 // snapshot freezes the histogram.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -205,6 +210,7 @@ type Registry struct {
 	Crawl    CrawlMetrics
 	Pipeline PipelineMetrics
 	Shard    ShardMetrics
+	Serve    ServeMetrics
 }
 
 // New builds an empty registry.
@@ -406,6 +412,96 @@ func (m *ShardMetrics) RecordQuarantined(n int64) {
 	if m != nil && n > 0 {
 		m.Quarantined.Add(n)
 	}
+}
+
+// ServeMetrics instruments the serving daemon (internal/serve):
+// per-endpoint request and latency accounting, the versioned response
+// cache's temperature, handler occupancy, and snapshot reloads.
+// Everything here is runtime by construction — request traffic, cache
+// hits and reload outcomes are properties of the clients driving the
+// daemon and of operator actions, not of the study seed — so none of
+// it ever feeds golden comparisons.
+type ServeMetrics struct {
+	Requests       Vec     // served requests by endpoint
+	Statuses       Vec     // responses by HTTP status code
+	CacheHits      Counter // responses answered from the versioned cache
+	CacheMisses    Counter // responses that rendered the body
+	CacheCoalesced Counter // hits that waited on an in-flight render
+	InFlight       Gauge   // requests currently inside a handler, with high-water
+	Reloads        Counter // snapshot swaps that landed
+	ReloadFailures Counter // reload attempts refused; the old snapshot kept serving
+
+	mu      sync.Mutex
+	latency map[string]*Histogram // per-endpoint request latency
+}
+
+// RecordRequest counts one served request and its wall-clock latency
+// under the endpoint's histogram. Nil-safe.
+func (m *ServeMetrics) RecordRequest(endpoint string, status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Requests.Add(endpoint, 1)
+	m.Statuses.Add(fmt.Sprint(status), 1)
+	m.mu.Lock()
+	if m.latency == nil {
+		m.latency = make(map[string]*Histogram)
+	}
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &Histogram{}
+		m.latency[endpoint] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// RecordCacheHit counts one cache hit; coalesced marks a hit that
+// blocked on another request's in-flight render. Nil-safe.
+func (m *ServeMetrics) RecordCacheHit(coalesced bool) {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+	if coalesced {
+		m.CacheCoalesced.Inc()
+	}
+}
+
+// RecordCacheMiss counts one cache fill. Nil-safe.
+func (m *ServeMetrics) RecordCacheMiss() {
+	if m != nil {
+		m.CacheMisses.Inc()
+	}
+}
+
+// RecordReload counts one reload attempt by outcome. Nil-safe.
+func (m *ServeMetrics) RecordReload(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.Reloads.Inc()
+	} else {
+		m.ReloadFailures.Inc()
+	}
+}
+
+func (m *ServeMetrics) latencySnapshots() map[string]HistogramSnapshot {
+	m.mu.Lock()
+	hists := make(map[string]*Histogram, len(m.latency))
+	for k, h := range m.latency {
+		hists[k] = h
+	}
+	m.mu.Unlock()
+	if len(hists) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for k, h := range hists {
+		out[k] = h.snapshot()
+	}
+	return out
 }
 
 // CountryCounters is one country's deterministic accounting row. The

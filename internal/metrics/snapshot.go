@@ -93,6 +93,7 @@ type Runtime struct {
 	Fetch     FetchRuntime                 `json:"fetch"`
 	Pipeline  PipelineRuntime              `json:"pipeline"`
 	Shard     ShardRuntime                 `json:"shard"`
+	Serve     ServeRuntime                 `json:"serve"`
 	Stages    map[string]HistogramSnapshot `json:"stages,omitempty"`
 	Countries map[string]CountryTimings    `json:"countries,omitempty"`
 }
@@ -138,6 +139,27 @@ type ShardRuntime struct {
 	Restarts               int64 `json:"restarts"`
 	Exhausted              int64 `json:"exhausted"`
 	CheckpointsQuarantined int64 `json:"checkpoints_quarantined"`
+}
+
+// ServeRuntime is the serving-daemon slice: request traffic, response
+// cache temperature, handler occupancy and snapshot reloads — all of
+// it driven by clients and operators, never by the seed.
+type ServeRuntime struct {
+	Requests          map[string]int64             `json:"requests,omitempty"`
+	Statuses          map[string]int64             `json:"statuses,omitempty"`
+	CacheHits         int64                        `json:"cache_hits"`
+	CacheMisses       int64                        `json:"cache_misses"`
+	CacheCoalesced    int64                        `json:"cache_coalesced"`
+	InFlightHighWater int64                        `json:"in_flight_high_water"`
+	Reloads           int64                        `json:"reloads"`
+	ReloadFailures    int64                        `json:"reload_failures"`
+	Latency           map[string]HistogramSnapshot `json:"latency,omitempty"`
+}
+
+// Active reports whether the daemon served anything — the Text render
+// skips the serve section for ordinary pipeline runs.
+func (s ServeRuntime) Active() bool {
+	return len(s.Requests) > 0 || s.Reloads > 0 || s.ReloadFailures > 0
 }
 
 // Bucket is one histogram bucket; LE == -1 marks the overflow bucket.
@@ -224,6 +246,17 @@ func (r *Registry) Snapshot() Snapshot {
 		Restarts:               r.Shard.Restarts.Load(),
 		Exhausted:              r.Shard.Exhausted.Load(),
 		CheckpointsQuarantined: r.Shard.Quarantined.Load(),
+	}
+	s.Runtime.Serve = ServeRuntime{
+		Requests:          r.Serve.Requests.snapshot(),
+		Statuses:          r.Serve.Statuses.snapshot(),
+		CacheHits:         r.Serve.CacheHits.Load(),
+		CacheMisses:       r.Serve.CacheMisses.Load(),
+		CacheCoalesced:    r.Serve.CacheCoalesced.Load(),
+		InFlightHighWater: r.Serve.InFlight.HighWater(),
+		Reloads:           r.Serve.Reloads.Load(),
+		ReloadFailures:    r.Serve.ReloadFailures.Load(),
+		Latency:           r.Serve.latencySnapshots(),
 	}
 	s.Runtime.Stages = r.Pipeline.stageSnapshots()
 	s.Runtime.Countries = r.Pipeline.timingSnapshots()
@@ -315,6 +348,19 @@ func (s Snapshot) Text() string {
 	line("shard.restarts", rt.Shard.Restarts)
 	line("shard.exhausted", rt.Shard.Exhausted)
 	line("shard.checkpoints_quarantined", rt.Shard.CheckpointsQuarantined)
+	if rt.Serve.Active() {
+		vec("serve.requests", rt.Serve.Requests)
+		vec("serve.statuses", rt.Serve.Statuses)
+		line("serve.cache_hits", rt.Serve.CacheHits)
+		line("serve.cache_misses", rt.Serve.CacheMisses)
+		line("serve.cache_coalesced", rt.Serve.CacheCoalesced)
+		line("serve.in_flight_high_water", rt.Serve.InFlightHighWater)
+		line("serve.reloads", rt.Serve.Reloads)
+		line("serve.reload_failures", rt.Serve.ReloadFailures)
+		for _, ep := range sortedKeys(rt.Serve.Latency) {
+			hist("serve.latency["+ep+"]", rt.Serve.Latency[ep])
+		}
+	}
 	for _, stage := range sortedKeys(rt.Stages) {
 		hist("stage."+stage, rt.Stages[stage])
 	}

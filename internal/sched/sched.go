@@ -173,6 +173,24 @@ func (p *Pool) Submit(ctx context.Context, fn func()) bool {
 	}
 }
 
+// Do hands fn to a worker and waits for it to finish, reporting false
+// without running fn when ctx is cancelled before a worker was free.
+// It is the synchronous face of Submit — the serving daemon runs each
+// request handler through it, so however many requests arrive, at most
+// the pool's worker budget execute at once and the rest queue with
+// backpressure instead of spawning goroutines.
+func (p *Pool) Do(ctx context.Context, fn func()) bool {
+	done := make(chan struct{})
+	if !p.Submit(ctx, func() {
+		defer close(done)
+		fn()
+	}) {
+		return false
+	}
+	<-done
+	return true
+}
+
 // Workers reports the pool's worker budget.
 func (p *Pool) Workers() int {
 	return p.workers

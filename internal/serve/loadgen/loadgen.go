@@ -1,0 +1,383 @@
+// Package loadgen drives a running govserve daemon with a seeded
+// request mix and verifies every response body against snapshots
+// rendered in-process from the same datasets. The request plan —
+// which endpoint, with which parameters, at which index — is a pure
+// function of (seed, mix), computed serially before any request is
+// sent, so the planned-mix accounting is byte-identical no matter how
+// many client workers execute the plan.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// MixEntry is one weighted slot of the request mix.
+type MixEntry struct {
+	Endpoint string `json:"endpoint"`
+	Query    string `json:"query,omitempty"` // raw query string, e.g. "kind=location"
+	Weight   int    `json:"weight"`
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Requests is the total number of API requests to send.
+	Requests int
+	// Concurrency is the client worker count; 0 picks 8. The request
+	// plan and its accounting do not depend on it.
+	Concurrency int
+	// Seed drives the endpoint draw for every request index.
+	Seed int64
+	// Verify holds one snapshot per dataset version the daemon may
+	// serve during the run; each response is byte-compared against the
+	// snapshot matching its claimed version. Required.
+	Verify []*serve.Snapshot
+	// Mix overrides the default endpoint mix (optional).
+	Mix []MixEntry
+	// ReloadAt fires a POST /admin/reload before request index
+	// ReloadAt is sent (0 = never).
+	ReloadAt int
+	// ReloadQuery is the reload selector, e.g. "jsonl=/tmp/b.jsonl".
+	ReloadQuery string
+	// Fetcher overrides the HTTP client (tests); nil uses net/http.
+	Fetcher fetch.Fetcher
+	// Retry is the retry policy wrapped around the fetcher.
+	Retry fetch.RetryPolicy
+}
+
+// Result is the run report. PlannedMix and Requests are deterministic
+// for a (seed, mix, request count); everything else — latency,
+// throughput, the per-version split, cache temperature — depends on
+// wall-clock and interleaving and is reported for the benchmark
+// ledger, not for golden comparison.
+type Result struct {
+	Requests        int            `json:"requests"`
+	Failed          int            `json:"failed"`
+	Mismatches      int            `json:"mismatches"`
+	MismatchSamples []string       `json:"mismatch_samples,omitempty"`
+	PlannedMix      map[string]int `json:"planned_mix"`
+
+	ByVersion     map[string]int            `json:"by_version"`
+	ReloadStatus  int                       `json:"reload_status,omitempty"`
+	DurationMS    float64                   `json:"duration_ms"`
+	ThroughputRPS float64                   `json:"throughput_rps"`
+	Latency       metrics.HistogramSnapshot `json:"latency"`
+	CacheHitRate  float64                   `json:"cache_hit_rate"`
+	ServerStats   *metrics.ServeRuntime     `json:"server_stats,omitempty"`
+}
+
+// DefaultMix covers every endpoint, weighting the headline figures
+// heavier and adding per-country lookups for codes present in all
+// verification snapshots (so the expected body exists under every
+// version the daemon may serve).
+func DefaultMix(verify []*serve.Snapshot) []MixEntry {
+	mix := []MixEntry{
+		{Endpoint: "fig1", Weight: 3}, {Endpoint: "fig2", Weight: 3},
+		{Endpoint: "fig4", Weight: 3}, {Endpoint: "fig5", Weight: 2},
+		{Endpoint: "fig6", Weight: 3}, {Endpoint: "fig8", Weight: 3},
+		{Endpoint: "fig9", Query: "kind=registration", Weight: 2},
+		{Endpoint: "fig9", Query: "kind=location", Weight: 2},
+		{Endpoint: "fig10", Weight: 2}, {Endpoint: "fig11", Weight: 2},
+		{Endpoint: "matrix", Query: "kind=registration", Weight: 1},
+		{Endpoint: "matrix", Query: "kind=location", Weight: 1},
+		{Endpoint: "affinity", Weight: 1}, {Endpoint: "nawe", Weight: 1},
+		{Endpoint: "gdpr", Weight: 2}, {Endpoint: "table4", Weight: 2},
+		{Endpoint: "table5", Weight: 2}, {Endpoint: "topsites", Weight: 2},
+		{Endpoint: "coverage", Weight: 1}, {Endpoint: "stats", Weight: 3},
+	}
+	codes := sharedCountries(verify)
+	if len(codes) > 8 {
+		codes = codes[:8]
+	}
+	for _, c := range codes {
+		mix = append(mix, MixEntry{Endpoint: "country", Query: "code=" + c, Weight: 1})
+	}
+	return mix
+}
+
+// sharedCountries returns the sorted intersection of the country
+// codes of every verification snapshot.
+func sharedCountries(verify []*serve.Snapshot) []string {
+	if len(verify) == 0 {
+		return nil
+	}
+	counts := map[string]int{}
+	for _, snap := range verify {
+		for _, c := range snap.Countries() {
+			counts[c]++
+		}
+	}
+	var codes []string
+	//lint:ignore map-order -- sorted immediately below
+	for c, n := range counts {
+		if n == len(verify) {
+			codes = append(codes, c)
+		}
+	}
+	sort.Strings(codes)
+	return codes
+}
+
+// splitmix64 is the per-index draw: a pure hash of (seed, index), so
+// the plan is independent of execution order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// entryKey is a mix entry's identity in PlannedMix and the expected
+// body tables.
+func entryKey(e MixEntry) string {
+	if e.Query == "" {
+		return e.Endpoint
+	}
+	return e.Endpoint + "?" + e.Query
+}
+
+// plan draws the mix entry for every request index.
+func plan(cfg *Config, mix []MixEntry) ([]int, map[string]int, error) {
+	total := 0
+	for _, e := range mix {
+		if e.Weight < 0 {
+			return nil, nil, fmt.Errorf("loadgen: negative weight for %s", entryKey(e))
+		}
+		total += e.Weight
+	}
+	if total == 0 {
+		return nil, nil, errors.New("loadgen: empty mix")
+	}
+	picks := make([]int, cfg.Requests)
+	planned := map[string]int{}
+	for i := range picks {
+		draw := int(splitmix64(uint64(cfg.Seed)^(uint64(i)*0x9e3779b97f4a7c15)) % uint64(total))
+		for j, e := range mix {
+			draw -= e.Weight
+			if draw < 0 {
+				picks[i] = j
+				break
+			}
+		}
+		planned[entryKey(mix[picks[i]])]++
+	}
+	return picks, planned, nil
+}
+
+// httpFetcher adapts net/http to the fetch.Fetcher interface.
+type httpFetcher struct{ c *http.Client }
+
+func (f httpFetcher) Fetch(ctx context.Context, u string) (*fetch.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &fetch.Response{Status: res.StatusCode, Body: body, BodySize: int64(len(body))}, nil
+}
+
+// Run executes the load plan against cfg.BaseURL and verifies every
+// response. It returns an error only for setup failures; request
+// failures and body mismatches are counted in the Result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL is required")
+	}
+	if len(cfg.Verify) == 0 {
+		return nil, errors.New("loadgen: at least one Verify snapshot is required")
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		mix = DefaultMix(cfg.Verify)
+	}
+	picks, planned, err := plan(&cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-render the expected body of every mix entry under every
+	// version the daemon may serve. Verification then only needs the
+	// version a response claims: expected[version][entry] is the one
+	// legal body.
+	type expectation struct {
+		body   []byte
+		status int
+	}
+	expected := make(map[string]map[int]expectation, len(cfg.Verify))
+	for _, snap := range cfg.Verify {
+		perEntry := make(map[int]expectation, len(mix))
+		for j, e := range mix {
+			q, err := url.ParseQuery(e.Query)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad query %q: %w", e.Query, err)
+			}
+			body, status := snap.Render(e.Endpoint, q)
+			perEntry[j] = expectation{body: body, status: status}
+		}
+		expected[snap.Version()] = perEntry
+	}
+
+	client := cfg.Fetcher
+	if client == nil {
+		client = httpFetcher{c: &http.Client{Timeout: 30 * time.Second}}
+	}
+	retrier := &fetch.Retrier{Inner: client, Policy: cfg.Retry}
+
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 8
+	}
+
+	res := &Result{
+		Requests:   cfg.Requests,
+		PlannedMix: planned,
+		ByVersion:  map[string]int{},
+	}
+	var (
+		mu      sync.Mutex
+		lat     metrics.Histogram
+		reload  sync.Once
+		sampleN = 5
+	)
+
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Failed++
+		if len(res.MismatchSamples) < sampleN {
+			res.MismatchSamples = append(res.MismatchSamples, fmt.Sprintf(format, args...))
+		}
+	}
+	mismatch := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Mismatches++
+		if len(res.MismatchSamples) < sampleN {
+			res.MismatchSamples = append(res.MismatchSamples, fmt.Sprintf(format, args...))
+		}
+	}
+
+	start := time.Now()
+	pool := sched.NewPool(concurrency)
+	defer pool.Close()
+	pool.Each(ctx, cfg.Requests, func(i int) {
+		if cfg.ReloadAt > 0 && i == cfg.ReloadAt {
+			reload.Do(func() {
+				status, err := postReload(ctx, cfg.BaseURL, cfg.ReloadQuery)
+				mu.Lock()
+				res.ReloadStatus = status
+				mu.Unlock()
+				if err != nil {
+					fail("reload: %v", err)
+				}
+			})
+		}
+		e := mix[picks[i]]
+		u := cfg.BaseURL + "/api/" + e.Endpoint
+		if e.Query != "" {
+			u += "?" + e.Query
+		}
+		t0 := time.Now()
+		resp, err := retrier.Fetch(ctx, u)
+		lat.Observe(time.Since(t0))
+		if err != nil {
+			fail("request %d %s: %v", i, entryKey(e), err)
+			return
+		}
+		var env struct {
+			Version string `json:"version"`
+		}
+		if err := json.Unmarshal(resp.Body, &env); err != nil {
+			mismatch("request %d %s: unparseable body: %v", i, entryKey(e), err)
+			return
+		}
+		mu.Lock()
+		res.ByVersion[env.Version]++
+		mu.Unlock()
+		perEntry, ok := expected[env.Version]
+		if !ok {
+			mismatch("request %d %s: unknown version %q", i, entryKey(e), env.Version)
+			return
+		}
+		want := perEntry[picks[i]]
+		if resp.Status != want.status || !bytes.Equal(resp.Body, want.body) {
+			mismatch("request %d %s: status %d vs %d, body diverges under version %s",
+				i, entryKey(e), resp.Status, want.status, env.Version)
+		}
+	})
+	elapsed := time.Since(start)
+
+	res.DurationMS = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	res.Latency = lat.Snapshot()
+
+	// Pull the daemon's own serve metrics for the cache hit rate; a
+	// daemon without /metrics (or a test stub) just leaves them out.
+	if snap, err := fetchMetrics(ctx, client, cfg.BaseURL); err == nil {
+		res.ServerStats = &snap.Runtime.Serve
+		if lookups := snap.Runtime.Serve.CacheHits + snap.Runtime.Serve.CacheMisses; lookups > 0 {
+			res.CacheHitRate = float64(snap.Runtime.Serve.CacheHits) / float64(lookups)
+		}
+	}
+	return res, nil
+}
+
+// postReload fires the mid-run snapshot swap.
+func postReload(ctx context.Context, base, query string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/admin/reload?"+query, nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, res.Body)
+	if res.StatusCode != http.StatusOK {
+		return res.StatusCode, fmt.Errorf("reload answered %d", res.StatusCode)
+	}
+	return res.StatusCode, nil
+}
+
+// fetchMetrics reads the daemon's live registry snapshot.
+func fetchMetrics(ctx context.Context, client fetch.Fetcher, base string) (*metrics.Snapshot, error) {
+	resp, err := client.Fetch(ctx, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != http.StatusOK {
+		return nil, fmt.Errorf("metrics answered %d", resp.Status)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -1,0 +1,188 @@
+// Package serve is the always-on analysis daemon: it holds a loaded
+// study as an immutable snapshot and answers every index-backed
+// figure and table over HTTP/JSON. A snapshot bundles the dataset,
+// its one-pass analysis index, the world model, a content-derived
+// version string, and a per-snapshot response cache — swapping the
+// snapshot pointer therefore swaps the cache atomically with the data
+// it was computed from, so a response can never mix versions.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/world"
+)
+
+// Snapshot is one immutable serving generation: a dataset, the
+// aggregates derived from it, and the responses rendered from those
+// aggregates. Snapshots are safe for unbounded concurrent reads; they
+// are never mutated after NewSnapshot returns (the cache only gains
+// entries, under its own lock).
+type Snapshot struct {
+	ds *dataset.Dataset
+	ix *analysis.Index
+	w  *world.Model
+
+	version string // first 12 hex chars of sha256 over the canonical JSONL export
+	desc    string // human-readable provenance ("jsonl:/path", "run:seed=42", ...)
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry is a single-flight response slot, mirroring the probing
+// verdict cache: the first requester renders inside once while later
+// requesters block on it; done distinguishes a settled entry (plain
+// hit) from an in-flight one (coalesced hit).
+type cacheEntry struct {
+	once   sync.Once
+	done   atomic.Bool
+	body   []byte
+	status int
+}
+
+// NewSnapshot freezes ds into a serving snapshot. It fills the
+// dataset's derived totals (idempotent) so hand-built datasets serve
+// the same stats a pipeline-produced one would, then derives the
+// version from the canonical export bytes — equal datasets hash to
+// equal versions no matter where they were loaded from.
+func NewSnapshot(ds *dataset.Dataset, desc string) (*Snapshot, error) {
+	ds.FillTotals()
+	v, err := DatasetVersion(ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		ds:      ds,
+		ix:      analysis.BuildIndex(ds),
+		w:       world.New(),
+		version: v,
+		desc:    desc,
+		cache:   map[string]*cacheEntry{},
+	}, nil
+}
+
+// DatasetVersion is the content version a snapshot of ds would carry:
+// the first 12 hex characters of a sha256 over the canonical JSONL
+// export. It is a pure function of the dataset, so a client holding
+// the same JSONL file computes the same version the daemon serves.
+func DatasetVersion(ds *dataset.Dataset) (string, error) {
+	h := sha256.New()
+	if err := export.WriteJSONL(h, ds); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12], nil
+}
+
+// Version returns the snapshot's content version.
+func (s *Snapshot) Version() string { return s.version }
+
+// Desc returns the snapshot's provenance string.
+func (s *Snapshot) Desc() string { return s.desc }
+
+// Countries returns the sorted country codes present in the
+// government records — the valid values for /api/country?code=.
+func (s *Snapshot) Countries() []string {
+	shares := s.ix.CountryShares()
+	codes := make([]string, 0, len(shares))
+	for c := range shares {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	return codes
+}
+
+// Render answers one endpoint for the given query, going through the
+// same single-flight cache the HTTP handlers use but recording no
+// metrics. Tests and the load generator use it to compute the exact
+// bytes the daemon must produce for this snapshot.
+func (s *Snapshot) Render(name string, query url.Values) (body []byte, status int) {
+	return s.respond(name, query, nil)
+}
+
+// respond renders (or replays) the response for one endpoint call.
+// Responses with a canonical parameter set — including deterministic
+// errors like an unknown country code — are cached per snapshot;
+// malformed parameter sets are rendered uncached so junk query keys
+// cannot grow the cache without bound.
+func (s *Snapshot) respond(name string, query url.Values, m *metrics.ServeMetrics) ([]byte, int) {
+	ep := endpointIndex[name]
+	if ep == nil {
+		return marshalError(s.version, name, &apiError{
+			Status: 404, Code: "unknown-endpoint",
+			Message: "no such endpoint: " + name,
+		})
+	}
+	params, aerr := canonicalParams(ep, query)
+	if aerr != nil {
+		return marshalError(s.version, name, aerr)
+	}
+	key := cacheKey(name, params)
+
+	s.mu.Lock()
+	e := s.cache[key]
+	hit := e != nil
+	if !hit {
+		e = &cacheEntry{}
+		s.cache[key] = e
+	}
+	s.mu.Unlock()
+
+	if hit {
+		m.RecordCacheHit(!e.done.Load())
+	} else {
+		m.RecordCacheMiss()
+	}
+	e.once.Do(func() {
+		e.body, e.status = s.renderFresh(ep, params)
+		e.done.Store(true)
+	})
+	return e.body, e.status
+}
+
+// renderFresh computes an endpoint's response body from the index.
+func (s *Snapshot) renderFresh(ep *endpoint, params map[string]string) ([]byte, int) {
+	data, err := ep.render(s, params)
+	if err != nil {
+		aerr, ok := err.(*apiError)
+		if !ok {
+			aerr = &apiError{Status: 500, Code: "render-failed", Message: err.Error()}
+		}
+		return marshalError(s.version, ep.name, aerr)
+	}
+	return marshalEnvelope(s.version, ep.name, params, data)
+}
+
+// cacheKey is the canonical identity of one response: endpoint name
+// plus the sorted canonical parameters.
+func cacheKey(name string, params map[string]string) string {
+	if len(params) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	sep := "?"
+	for _, k := range keys {
+		b.WriteString(sep)
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(params[k])
+		sep = "&"
+	}
+	return b.String()
+}

@@ -27,6 +27,10 @@ func TestMain(m *testing.M) {
 		shardWorkerMain(spec)
 		return
 	}
+	if path := os.Getenv(serveDaemonEnv); path != "" {
+		serveDaemonMain(path)
+		return
+	}
 	os.Exit(m.Run())
 }
 
