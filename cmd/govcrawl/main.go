@@ -8,6 +8,8 @@
 // Usage:
 //
 //	govcrawl -country UY -scale 0.05 -o crawl.har.json
+//
+//lint:deterministic
 package main
 
 import (
@@ -143,6 +145,7 @@ func main() {
 		Pool:    pool,
 		Metrics: &reg.Crawl,
 	}
+	//lint:ignore nondeterminism -- stderr elapsed-time progress line; no archive bytes derive from it
 	start := time.Now()
 	archive, err := cr.Crawl(ctx, landings)
 	if err != nil {
@@ -166,6 +169,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "crawled %d entries (%d hosts, %d bytes) in %v\n",
 		len(archive.Entries), len(archive.Hosts()), archive.TotalBytes(),
+		//lint:ignore nondeterminism -- stderr elapsed-time progress line; no archive bytes derive from it
 		time.Since(start).Round(time.Millisecond))
 	if counts := archive.FailureCounts(); len(counts) > 0 {
 		kinds := make([]string, 0, len(counts))

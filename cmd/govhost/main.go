@@ -6,6 +6,8 @@
 //	govhost -scale 0.1 -exp fig2,fig9
 //	govhost -exp all
 //	govhost -countries US,MX,BR -exp fig2
+//
+//lint:deterministic
 package main
 
 import (
@@ -114,6 +116,7 @@ func main() {
 		cfg.Countries = strings.Split(strings.ToUpper(*countries), ",")
 	}
 
+	//lint:ignore nondeterminism -- stderr elapsed-time progress line; no study or report bytes derive from it
 	start := time.Now()
 
 	if *shardSpec != "" {
@@ -133,6 +136,7 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "shard %d/%d complete in %v: %d countries checkpointed in %s\n",
+				//lint:ignore nondeterminism -- stderr elapsed-time progress line; no study or report bytes derive from it
 				idx, n, time.Since(start).Round(time.Millisecond), done, *checkpoint)
 		}
 		return
@@ -167,6 +171,7 @@ func main() {
 	if !*quiet {
 		st := study.Stats()
 		fmt.Fprintf(os.Stderr, "study complete in %v: %d URLs, %d hostnames, %d IPs, %d ASes\n",
+			//lint:ignore nondeterminism -- stderr elapsed-time progress line; no study or report bytes derive from it
 			time.Since(start).Round(time.Millisecond),
 			st.UniqueURLs, st.UniqueHostnames, st.UniqueIPs, st.ASes)
 	}

@@ -8,6 +8,8 @@
 //
 //	govprobe -country UY            # probe that country's first landing host
 //	govprobe -host finance.gob.mx -country MX
+//
+//lint:deterministic
 package main
 
 import (

@@ -19,6 +19,8 @@
 //	govserve -loadgen -base http://127.0.0.1:8080 -requests 20000 \
 //	  -verify study.jsonl,other.jsonl -reload-at 10000 \
 //	  -reload-to 'jsonl=other.jsonl' -out BENCH.json
+//
+//lint:deterministic
 package main
 
 import (
@@ -50,12 +52,12 @@ func main() {
 		countries = flag.String("countries", "", "comma-separated ISO codes for -run / -from-checkpoint")
 		workers   = flag.Int("workers", 0, "concurrent request renders; excess requests queue (default 8)")
 
-		lgMode     = flag.Bool("loadgen", false, "run as the load harness against -base instead of serving")
-		base       = flag.String("base", "", "loadgen: daemon base URL")
-		requests   = flag.Int("requests", 10000, "loadgen: total requests")
-		lgConc     = flag.Int("concurrency", 8, "loadgen: client workers")
-		verify     = flag.String("verify", "", "loadgen: comma-separated JSONL files covering every version the daemon may serve")
-		reloadAt   = flag.Int("reload-at", 0, "loadgen: fire POST /admin/reload before this request index (0 = never)")
+		lgMode   = flag.Bool("loadgen", false, "run as the load harness against -base instead of serving")
+		base     = flag.String("base", "", "loadgen: daemon base URL")
+		requests = flag.Int("requests", 10000, "loadgen: total requests")
+		lgConc   = flag.Int("concurrency", 8, "loadgen: client workers")
+		verify   = flag.String("verify", "", "loadgen: comma-separated JSONL files covering every version the daemon may serve")
+		reloadAt = flag.Int("reload-at", 0, "loadgen: fire POST /admin/reload before this request index (0 = never)")
 		reloadTo = flag.String("reload-to", "", "loadgen: reload selector, e.g. 'jsonl=/path/b.jsonl'")
 		outPath  = flag.String("out", "", "loadgen: write the result JSON here (default stdout)")
 	)

@@ -6,6 +6,8 @@
 // governments on global providers.
 //
 //	go run ./examples/centralization
+//
+//lint:deterministic
 package main
 
 import (

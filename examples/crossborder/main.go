@@ -3,6 +3,8 @@
 // stays in-region (Table 5), and how well EU members comply with GDPR.
 //
 //	go run ./examples/crossborder
+//
+//lint:deterministic
 package main
 
 import (

@@ -6,6 +6,8 @@
 // Brazil, Vietnam and Russia cluster together).
 //
 //	go run ./examples/strategies
+//
+//lint:deterministic
 package main
 
 import (
@@ -42,18 +44,18 @@ func main() {
 		fmt.Println()
 	}
 
-	// The Fig. 1 world map as two lists.
+	// The Fig. 1 world map as two tallies.
 	majority := study.MajorityThirdParty()
-	var third, gov []string
-	for code, tp := range majority {
+	var third, gov int
+	for _, tp := range majority {
 		if tp {
-			third = append(third, code)
+			third++
 		} else {
-			gov = append(gov, code)
+			gov++
 		}
 	}
-	fmt.Printf("majority third-party (Fig. 1 brown): %d countries\n", len(third))
-	fmt.Printf("majority Govt&SOE    (Fig. 1 purple): %d countries\n", len(gov))
+	fmt.Printf("majority third-party (Fig. 1 brown): %d countries\n", third)
+	fmt.Printf("majority Govt&SOE    (Fig. 1 purple): %d countries\n", gov)
 
 	// §5.3's Southern Cone anecdote, straight from the signatures.
 	fmt.Println("\nthe Southern Cone splits three ways (§5.3):")

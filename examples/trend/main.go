@@ -5,6 +5,8 @@
 // dependencies keep increasing year over year.
 //
 //	go run ./examples/trend
+//
+//lint:deterministic
 package main
 
 import (

@@ -6,7 +6,6 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/crawler"
@@ -72,7 +71,7 @@ func (env *Env) Run(ctx context.Context) (*dataset.Dataset, error) {
 	if env.resolveHost == nil {
 		env.resolveHost = env.zoneResolve
 	}
-	studyStart := time.Now()
+	studyStart := runtimeNow()
 	if env.Faults == nil && cfg.FaultProfile != "" {
 		prof, err := faults.ParseProfile(cfg.FaultProfile)
 		if err != nil {
@@ -310,16 +309,16 @@ feed:
 	}
 
 	if !cfg.SkipTopsites {
-		topStart := time.Now()
+		topStart := runtimeNow()
 		if err := env.runTopsites(ctx, ds, pool); err != nil {
 			return nil, err
 		}
-		env.pipelineMetrics().ObserveStage("topsites", time.Since(topStart))
+		env.pipelineMetrics().ObserveStage("topsites", runtimeSince(topStart))
 	}
 
 	assignCategories(env, ds)
 	ds.FillTotals()
-	env.pipelineMetrics().ObserveStage("study", time.Since(studyStart))
+	env.pipelineMetrics().ObserveStage("study", runtimeSince(studyStart))
 	return ds, nil
 }
 
@@ -509,9 +508,9 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 
 	// §3.2: connect through an in-country VPN vantage and validate its
 	// claimed location before trusting it; reconnect on failure.
-	stageStart := time.Now()
+	stageStart := runtimeNow()
 	vp, attempts, vErr := env.connectVantage(c, fam)
-	timings.Vantage = time.Since(stageStart)
+	timings.Vantage = runtimeSince(stageStart)
 	stats.VantageAttempts = attempts
 	if vErr != nil {
 		stats.Failed = true
@@ -535,9 +534,9 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 		Metrics: cm,
 		Sched:   sm,
 	}
-	stageStart = time.Now()
+	stageStart = runtimeNow()
 	archive, err := cr.Crawl(ctx, landings)
-	timings.Crawl = time.Since(stageStart)
+	timings.Crawl = runtimeSince(stageStart)
 	if err != nil {
 		return nil, err
 	}
@@ -552,14 +551,14 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	}
 
 	// §3.3: identify internal government URLs.
-	stageStart = time.Now()
+	stageStart = runtimeNow()
 	classifier := env.urlClassifier(c)
 	landingSet := make(map[string]bool, len(landings))
 	for _, l := range landings {
 		landingSet[l] = true
 	}
 	candidates, methods, unusable := classifyEntries(classifier, archive.Entries, landingSet)
-	timings.Classify = time.Since(stageStart)
+	timings.Classify = runtimeSince(stageStart)
 
 	// Annotation fans out through the same bounded pool as the fetches;
 	// workers write into their own index so assembly order stays the
@@ -567,11 +566,11 @@ func (env *Env) runCountry(ctx context.Context, c *world.Country, pool *sched.Po
 	// then compacted in place — the fan-out buffer is the result slice.
 	recs := make([]dataset.URLRecord, len(candidates))
 	errs := make([]error, len(candidates))
-	stageStart = time.Now()
+	stageStart = runtimeNow()
 	pool.EachWith(ctx, len(candidates), sm, func(i int) {
 		recs[i], errs[i] = env.annotate(c, archive.Entries[candidates[i].idx], dpm)
 	})
-	timings.Annotate = time.Since(stageStart)
+	timings.Annotate = runtimeSince(stageStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -77,6 +77,11 @@ func NewResolver(server string) *Resolver {
 	return &Resolver{Server: server}
 }
 
+// clock is the resolver's only wall-clock read: TTL expiry and the
+// query-ID seed both derive from it, so injecting now() makes the
+// whole resolver deterministic.
+//
+//lint:ignore determinism-taint -- wall-clock fallback when no clock is injected; deterministic studies and tests inject now()
 func (r *Resolver) clock() time.Time {
 	if r.now != nil {
 		return r.now()
@@ -118,7 +123,7 @@ func (r *Resolver) LookupA(ctx context.Context, name string) (Result, error) {
 	if r.cache == nil {
 		r.cache = make(map[string]cacheEntry)
 		r.inflight = make(map[string]*call)
-		r.ids = rand.NewSource(time.Now().UnixNano())
+		r.ids = rand.NewSource(r.clock().UnixNano())
 	}
 	if e, ok := r.cache[key]; ok && r.clock().Before(e.expires) {
 		r.hits++

@@ -137,6 +137,7 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 	}
 }
 
+//lint:ignore determinism-taint -- per-connection idle deadlines on the live test wire; no decoded answer bytes derive from the clock
 func (s *Server) serveTCP(l net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -219,6 +220,8 @@ func writeTCPMessage(w io.Writer, pkt []byte) error {
 
 // Exchange is a one-shot client: it sends the query over UDP with the
 // given timeout and falls back to TCP when the answer is truncated.
+//
+//lint:ignore determinism-taint -- socket-deadline fallback when the context carries none; the wire bytes exchanged are clock-free
 func Exchange(ctx context.Context, server string, q *Message) (*Message, error) {
 	pkt, err := q.Pack()
 	if err != nil {

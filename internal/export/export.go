@@ -263,7 +263,6 @@ func WriteJSONL(w io.Writer, ds *dataset.Dataset) error {
 	if err := s.WriteTopsites(ds.Topsites); err != nil {
 		return err
 	}
-	//lint:ignore map-order -- WriteCountry buffers; Close sorts by country code before emitting, so arrival order cannot reach the output bytes
 	for _, st := range ds.PerCountry {
 		if err := s.WriteCountry(st); err != nil {
 			return err

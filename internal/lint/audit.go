@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The suppression audit closes the loop on in-source sanctions: every
+// //lint:ignore either suppressed a live finding during this run (or
+// barred live taint, for declaration-site barriers) or it is reported
+// stale, and every //lint:deterministic tag either opts its package in
+// or duplicates an opt-in that already exists. Without this, the code
+// around a directive drifts — the violation gets fixed, the helper
+// gets rewritten, the package joins the central list — and the
+// directive silently outlives its justification, ready to mask the
+// next real violation on the same line. Stale directives are
+// unsuppressable by design: the only fixes are deleting the directive
+// or restoring the violation it claims to explain.
+//
+// The audit runs in Finish, after every per-package rule and the
+// whole-program taint pass have had their chance to mark directives
+// used, and only over the packages that were actually checked: a
+// subset run does not accuse directives of packages it never analyzed.
+
+// auditSuppressions reports stale //lint:ignore directives and
+// redundant //lint:deterministic tags of every checked package.
+func (r *Runner) auditSuppressions() {
+	for _, pkg := range r.checkedPackages() {
+		r.auditIgnores(pkg)
+		r.auditDetTags(pkg)
+	}
+}
+
+func (r *Runner) auditIgnores(pkg *Package) {
+	files := make([]string, 0, len(pkg.ignores))
+	for file := range pkg.ignores {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, d := range pkg.ignores[file] {
+			if d.bad != "" || d.used {
+				continue
+			}
+			r.record(Diagnostic{
+				File: r.relPath(file), Line: d.line, Col: 1,
+				Rule:    "stale-ignore",
+				Message: fmt.Sprintf("//lint:ignore %s suppresses no finding on this line or the line below; delete the stale directive or restore the violation it explains", d.ruleList()),
+			})
+		}
+	}
+}
+
+// auditDetTags flags //lint:deterministic tags that change nothing: a
+// second tag in a package that is already opted in, or any tag in a
+// package already on the central deterministicPkgs list. A single tag
+// in an otherwise unlisted package is the opt-in itself and is never
+// stale, even when the package is currently clean — the tag is the
+// contract, not a finding.
+func (r *Runner) auditDetTags(pkg *Package) {
+	for i, pos := range pkg.detTags {
+		switch {
+		case deterministicPkgs[pkg.Path]:
+			r.record(Diagnostic{
+				File: r.relPath(pos.Filename), Line: pos.Line, Col: 1,
+				Rule:    "stale-deterministic-tag",
+				Message: fmt.Sprintf("redundant //lint:deterministic tag: package %s is already on the central deterministicPkgs list in rules.go", pkg.Path),
+			})
+		case i > 0:
+			first := pkg.detTags[0]
+			r.record(Diagnostic{
+				File: r.relPath(pos.Filename), Line: pos.Line, Col: 1,
+				Rule:    "stale-deterministic-tag",
+				Message: fmt.Sprintf("duplicate //lint:deterministic tag: the package is already opted in at %s:%d", r.relPath(first.Filename), first.Line),
+			})
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CI-grade output: diagnostics render as SARIF 2.1.0 for code-scanning
+// upload, and a baseline file (the -format json output of a previous
+// run) lets an adopting pipeline go red only on findings it has not
+// already accepted. Both renderings consume the sorted, deduplicated
+// slice from Runner.Diagnostics, so the bytes are identical across
+// runs and concurrency shapes.
+
+// sarifLog is the minimal SARIF 2.1.0 document shape this engine
+// emits. Field order is fixed by the struct, so marshaling is
+// byte-deterministic.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders diagnostics as an indented SARIF 2.1.0 log. The rule
+// table carries every check the engine knows (Descriptors), findings
+// or not, so a clean run still documents what was enforced.
+func SARIF(diags []Diagnostic) ([]byte, error) {
+	var rules []sarifRule
+	for _, d := range Descriptors() {
+		rules = append(rules, sarifRule{ID: d.Name, ShortDescription: sarifMessage{Text: d.Doc}})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "govlint",
+				InformationURI: "https://example.invalid/govlint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// LoadBaseline reads a baseline file: a JSON array of diagnostics in
+// the exact shape `govlint -format json` emits.
+func LoadBaseline(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return diags, nil
+}
+
+// FilterBaseline drops every finding already accepted by the baseline
+// and returns the rest. A finding matches a baseline entry when file,
+// rule and message agree — line and column drift is tolerated, so
+// unrelated edits above an accepted finding do not resurface it.
+// Matching is multiset-wise: two identical findings need two baseline
+// entries.
+func FilterBaseline(diags, baseline []Diagnostic) []Diagnostic {
+	type key struct{ file, rule, message string }
+	accepted := map[key]int{}
+	for _, d := range baseline {
+		accepted[key{d.File, d.Rule, d.Message}]++
+	}
+	kept := []Diagnostic{}
+	for _, d := range diags {
+		k := key{d.File, d.Rule, d.Message}
+		if accepted[k] > 0 {
+			accepted[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

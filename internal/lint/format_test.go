@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fixtureDiagnostics runs the whole rule set over every fixture
+// package with the given worker count and returns the sorted findings.
+func fixtureDiagnostics(t *testing.T, workers int) []Diagnostic {
+	t.Helper()
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.CheckDirs(fixtureDirs(t), workers); err != nil {
+		t.Fatal(err)
+	}
+	return runner.Diagnostics()
+}
+
+// TestFormatGoldens locks the JSON and SARIF renderings of the fixture
+// diagnostics byte for byte, and proves both survive a decode/encode
+// round trip unchanged — the property a CI consumer depends on.
+// Regenerate with `go test ./internal/lint -run FormatGoldens -update`.
+func TestFormatGoldens(t *testing.T) {
+	diags := fixtureDiagnostics(t, 1)
+
+	jsonData, err := JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sarifData, err := SARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, g := range []struct {
+		file string
+		got  []byte
+	}{
+		{filepath.Join("testdata", "golden.json"), jsonData},
+		{filepath.Join("testdata", "golden.sarif"), sarifData},
+	} {
+		if *update {
+			if err := os.WriteFile(g.file, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(g.file)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create it)", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted from golden.\n--- got ---\n%s", g.file, g.got)
+		}
+	}
+	if *update {
+		return
+	}
+
+	var decoded []Diagnostic
+	if err := json.Unmarshal(jsonData, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	again, err := JSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonData, again) {
+		t.Error("JSON round trip is not byte-identical")
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(sarifData, &log); err != nil {
+		t.Fatal(err)
+	}
+	sarifAgain, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sarifData, sarifAgain) {
+		t.Error("SARIF round trip is not byte-identical")
+	}
+}
+
+// TestSARIFRuleTable checks a clean run still documents every rule the
+// engine enforces.
+func TestSARIFRuleTable(t *testing.T) {
+	data, err := SARIF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF has %d runs, want 1", len(log.Runs))
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(Descriptors()) {
+		t.Fatalf("SARIF rule table has %d rules, Descriptors has %d", len(rules), len(Descriptors()))
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean SARIF run carries %d results", len(log.Runs[0].Results))
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract of CheckDirs:
+// whatever the worker count, the rendered findings are byte-identical.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := Text(fixtureDiagnostics(t, 1))
+	for _, workers := range []int{2, 8} {
+		if parallel := Text(fixtureDiagnostics(t, workers)); parallel != serial {
+			t.Errorf("findings with %d workers diverge from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+				workers, parallel, serial)
+		}
+	}
+}
+
+// TestFilterBaseline pins the multiset matching: line drift is
+// tolerated, counts are respected, unmatched findings survive.
+func TestFilterBaseline(t *testing.T) {
+	d1 := Diagnostic{File: "a.go", Line: 10, Col: 2, Rule: "nondeterminism", Message: "m1"}
+	d1moved := d1
+	d1moved.Line = 99
+	d2 := Diagnostic{File: "a.go", Line: 20, Col: 2, Rule: "map-order", Message: "m2"}
+
+	got := FilterBaseline([]Diagnostic{d1, d2}, []Diagnostic{d1moved})
+	if !reflect.DeepEqual(got, []Diagnostic{d2}) {
+		t.Errorf("line drift not tolerated: got %v", got)
+	}
+
+	got = FilterBaseline([]Diagnostic{d1, d1}, []Diagnostic{d1})
+	if len(got) != 1 {
+		t.Errorf("multiset matching broken: one baseline entry absorbed %d findings", 2-len(got))
+	}
+
+	got = FilterBaseline(nil, []Diagnostic{d1, d2})
+	if len(got) != 0 {
+		t.Errorf("empty run with a stale baseline must stay clean, got %v", got)
+	}
+}
+
+// TestLoadBaselineRoundTrip writes a baseline the way the CLI does and
+// reads it back through LoadBaseline.
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "x.go", Line: 1, Col: 1, Rule: "map-order", Message: "m"},
+	}
+	data, err := JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, diags) {
+		t.Errorf("LoadBaseline = %v, want %v", loaded, diags)
+	}
+	if left := FilterBaseline(diags, loaded); len(left) != 0 {
+		t.Errorf("round-tripped baseline does not absorb its own findings: %v", left)
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixturePkg type-checks one fixture package for directive-level
+// unit tests.
+func loadFixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// findDirective locates the fixture directive whose reason starts with
+// prefix.
+func findDirective(t *testing.T, pkg *Package, prefix string) (file string, d *ignoreDirective) {
+	t.Helper()
+	for file, ds := range pkg.ignores {
+		for _, d := range ds {
+			if strings.HasPrefix(d.reason, prefix) {
+				return file, d
+			}
+		}
+	}
+	t.Fatalf("no directive with reason prefix %q in %s", prefix, pkg.Path)
+	return "", nil
+}
+
+// TestSuppressedScope pins the directive's reach: its own line and the
+// line directly below, for the named rules only, and a hit marks it
+// used.
+func TestSuppressedScope(t *testing.T) {
+	pkg := loadFixturePkg(t, "staleignore")
+	file, d := findDirective(t, pkg, "fixture: progress stamp only")
+
+	at := func(line int) token.Position { return token.Position{Filename: file, Line: line} }
+	if pkg.suppressed(at(d.line+2), "nondeterminism") {
+		t.Errorf("directive at line %d must not cover line %d", d.line, d.line+2)
+	}
+	if pkg.suppressed(at(d.line+1), "map-order") {
+		t.Error("directive must not cover a rule it does not name")
+	}
+	if d.used {
+		t.Fatal("missed lookups must not mark the directive used")
+	}
+	if !pkg.suppressed(at(d.line+1), "nondeterminism") {
+		t.Errorf("directive at line %d must cover the line below it", d.line)
+	}
+	if !d.used {
+		t.Error("a suppressing hit must mark the directive used")
+	}
+	if !pkg.suppressed(at(d.line), "nondeterminism") {
+		t.Error("directive must cover its own line")
+	}
+}
+
+// TestSuppressorDoesNotMarkUsed separates the barrier lookup from the
+// suppression path: consulting a directive as a potential taint
+// barrier must not count as using it.
+func TestSuppressorDoesNotMarkUsed(t *testing.T) {
+	pkg := loadFixturePkg(t, "staleignore")
+	file, d := findDirective(t, pkg, "fixture: progress stamp only")
+	got := pkg.suppressor(token.Position{Filename: file, Line: d.line + 1}, "nondeterminism")
+	if got != d {
+		t.Fatalf("suppressor returned %v, want the covering directive", got)
+	}
+	if d.used {
+		t.Error("suppressor must not mark the directive used")
+	}
+}
+
+// TestMalformedDirectivesNeverSuppress pins that a bad directive is
+// inert: it reports as bad-ignore and covers nothing.
+func TestMalformedDirectivesNeverSuppress(t *testing.T) {
+	pkg := loadFixturePkg(t, "badignore")
+	var file string
+	var bad *ignoreDirective
+	for f, ds := range pkg.ignores {
+		for _, d := range ds {
+			if d.bad != "" {
+				file, bad = f, d
+			}
+		}
+	}
+	if bad == nil {
+		t.Fatal("badignore fixture lost its malformed directive")
+	}
+	if pkg.suppressed(token.Position{Filename: file, Line: bad.line + 1}, "nondeterminism") {
+		t.Error("a malformed directive must not suppress anything")
+	}
+}
+
+// TestCollectDetTags pins tag discovery order for the audit.
+func TestCollectDetTags(t *testing.T) {
+	pkg := loadFixturePkg(t, "staletag")
+	if len(pkg.detTags) != 2 {
+		t.Fatalf("staletag fixture has %d tags, want 2", len(pkg.detTags))
+	}
+	if pkg.detTags[0].Line >= pkg.detTags[1].Line {
+		t.Errorf("tags out of (file, line) order: %v then %v", pkg.detTags[0], pkg.detTags[1])
+	}
+}
+
+// TestCentralListStaleTag covers the audit arm the fixtures cannot: a
+// //lint:deterministic tag in a package that is also on the central
+// deterministicPkgs list is redundant and must say so.
+func TestCentralListStaleTag(t *testing.T) {
+	const path = "repro/internal/lint/testdata/src/nondet"
+	deterministicPkgs[path] = true
+	defer delete(deterministicPkgs, path)
+
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.CheckDir(filepath.Join("testdata", "src", "nondet")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range runner.Diagnostics() {
+		if d.Rule == "stale-deterministic-tag" && strings.Contains(d.Message, "already on the central deterministicPkgs list") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no stale-deterministic-tag finding for a tag in a centrally-listed package")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one fully type-checked module package, ready for rules.
@@ -22,8 +24,8 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	ignores map[string][]ignoreDirective // filename -> directives
-	detTag  bool                         // file-level //lint:deterministic opt-in
+	ignores map[string][]*ignoreDirective // filename -> directives
+	detTags []token.Position              // //lint:deterministic opt-in tags, (file, line) order
 }
 
 // Loader loads and type-checks packages of one module using only the
@@ -31,15 +33,38 @@ type Package struct {
 // module root, standard-library imports are type-checked from GOROOT
 // source by go/importer's "source" compiler (no export data, no
 // network, no golang.org/x/tools).
+//
+// The loader is safe for concurrent use: each package is loaded
+// exactly once behind a future, so parallel workers loading disjoint
+// packages share their transitive dependencies instead of re-checking
+// them. The stdlib source importer is not itself concurrency-safe and
+// is serialized behind its own mutex; module packages type-check in
+// parallel around it.
 type Loader struct {
 	Fset    *token.FileSet
 	ModPath string // module path from go.mod
 	ModRoot string // absolute module root
 
-	std     types.Importer
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle guard
+	std   types.Importer
+	stdMu sync.Mutex
+
+	mu   sync.Mutex
+	pkgs map[string]*pkgFuture // by import path
 }
+
+// pkgFuture is the once-only slot for one package: the goroutine that
+// creates it completes it; everyone else waits on done.
+type pkgFuture struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
+}
+
+// buildNoCgo forces CgoEnabled off exactly once for the process: the
+// source importer re-type-checks stdlib packages from $GOROOT/src, and
+// cgo-tainted variants (net, os/user) would shell out to the cgo tool;
+// the pure-Go fallbacks type-check identically for our purposes.
+var buildNoCgo sync.Once
 
 // NewLoader locates the enclosing module from dir (walking up to the
 // nearest go.mod) and prepares a loader for it.
@@ -64,20 +89,17 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	// The source importer re-type-checks stdlib packages from
-	// $GOROOT/src. Cgo-tainted variants (net, os/user) would shell out
-	// to the cgo tool; the pure-Go fallbacks type-check identically for
-	// our purposes, so force them.
-	ctxt := build.Default
-	ctxt.CgoEnabled = false
-	build.Default = ctxt
+	buildNoCgo.Do(func() {
+		ctxt := build.Default
+		ctxt.CgoEnabled = false
+		build.Default = ctxt
+	})
 	return &Loader{
 		Fset:    fset,
 		ModPath: modPath,
 		ModRoot: root,
 		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		pkgs:    map[string]*pkgFuture{},
 	}, nil
 }
 
@@ -98,18 +120,27 @@ func modulePath(gomod string) (string, error) {
 
 // Import implements types.Importer, dispatching module-internal paths
 // to the source loader and everything else to the stdlib importer.
+// Module imports are pre-loaded before type-checking starts (see
+// load), so this is a cache hit on the happy path.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
-		pkg, err := l.load(path)
+	if l.isModulePath(path) {
+		pkg, err := l.load(path, nil)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
+}
+
+// isModulePath reports whether path names a package of this module.
+func (l *Loader) isModulePath(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
 }
 
 // dirFor maps a module import path to its directory.
@@ -143,22 +174,71 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.load(path)
+	return l.load(path, nil)
 }
 
-// load parses and type-checks one module package. Test files are
-// excluded: the invariants guard production pipeline code, and test
-// packages are exempt by design (see the scheduler-bypass allowlist).
-func (l *Loader) load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+// Loaded returns every module package the loader has successfully
+// loaded so far — the checked packages plus their transitive module
+// dependencies — sorted by import path. The whole-program passes
+// (taint summaries) run over this set.
+func (l *Loader) Loaded() []*Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		fut := l.pkgs[path]
+		select {
+		case <-fut.done:
+			if fut.err == nil {
+				out = append(out, fut.pkg)
+			}
+		default:
+			// still loading (caller's responsibility to sequence; the
+			// Runner only calls Loaded after all checks completed)
+		}
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	return out
+}
 
+// load returns the memoized package for path, loading it on first
+// request. stack is the current goroutine's in-progress import chain
+// for cycle detection; concurrent loads of the same package wait on
+// the first loader's future. (A true import cycle split across two
+// goroutines could deadlock instead of erroring, but Go rejects import
+// cycles at build time, so only the single-goroutine detection below
+// is reachable in practice.)
+func (l *Loader) load(path string, stack []string) (*Package, error) {
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	l.mu.Lock()
+	if fut, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		<-fut.done
+		return fut.pkg, fut.err
+	}
+	fut := &pkgFuture{done: make(chan struct{})}
+	l.pkgs[path] = fut
+	l.mu.Unlock()
+	fut.pkg, fut.err = l.loadUncached(path, append(stack, path))
+	close(fut.done)
+	return fut.pkg, fut.err
+}
+
+// loadUncached parses and type-checks one module package. Test files
+// are excluded: the invariants guard production pipeline code, and
+// test packages are exempt by design (see the scheduler-bypass
+// allowlist). Module-internal imports are loaded (through the shared
+// futures) before type-checking begins, so the type-checker's Import
+// calls never block behind this goroutine's own work.
+func (l *Loader) loadUncached(path string, stack []string) (*Package, error) {
 	dir := l.dirFor(path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -186,6 +266,12 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 
+	for _, imp := range moduleImports(l, files) {
+		if _, err := l.load(imp, stack); err != nil {
+			return nil, err
+		}
+	}
+
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -206,17 +292,34 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
 	}
 
-	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+	return &Package{
+		Path:    path,
+		Dir:     dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		ignores: collectIgnores(l.Fset, files),
+		detTags: collectDetTags(l.Fset, files),
+	}, nil
+}
+
+// moduleImports collects the module-internal import paths of files, in
+// sorted order, for dependency pre-loading.
+func moduleImports(l *Loader, files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] || !l.isModulePath(p) {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
 	}
-	pkg.ignores = collectIgnores(l.Fset, files)
-	pkg.detTag = hasDeterministicTag(files)
-	l.pkgs[path] = pkg
-	return pkg, nil
+	sort.Strings(out)
+	return out
 }
 
 // ModuleDirs returns every package directory of the module in sorted

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file closes the calleeFunc blind spots: a call through a local
+// function variable (`f := fetch.Stamp; f()`) or a method value
+// (`f := clock.Stamp; f()`) resolves to nil under calleeFunc, which
+// would silently drop the call edge from the taint summaries and hide
+// the source from the direct nondeterminism rule. funcBindings scans a
+// declaration body for every function value bound to a local variable;
+// resolveCallees then returns every function a call expression may
+// reach — the direct callee, or all bindings of the called variable.
+//
+// Known limits, by design: bindings are tracked per declaration (a
+// package-level `var f = time.Now` or a function value smuggled
+// through a struct field or map is not resolved), and calls through
+// interface methods resolve to the interface method object, which has
+// no body and therefore no summary. Those flows stay covered by the
+// dynamic chaos suite.
+
+// funcBindings maps every local variable of the declaration body to
+// the named functions (package functions, methods via method values,
+// method expressions) assigned to it anywhere in the body, including
+// inside nested function literals.
+func funcBindings(info *types.Info, body *ast.BlockStmt) map[types.Object][]*types.Func {
+	out := map[types.Object][]*types.Func{}
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		if f := funcValue(info, rhs); f != nil {
+			out[obj] = append(out[obj], f)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcValue resolves an expression used as a value to the named
+// function it denotes: a package function, a method value (x.M) or a
+// method expression (T.M). Non-function values yield nil.
+func funcValue(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// resolveCallees returns every named function a call may invoke: the
+// statically resolved callee when there is one, otherwise every
+// function bound (per funcBindings) to the called local variable.
+func resolveCallees(info *types.Info, call *ast.CallExpr, bindings map[types.Object][]*types.Func) []*types.Func {
+	if f := calleeFunc(info, call); f != nil {
+		return []*types.Func{f}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return bindings[v]
+		}
+	}
+	return nil
+}

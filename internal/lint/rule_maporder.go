@@ -35,27 +35,37 @@ func (mapOrderRule) Check(pkg *Package, r *Reporter) {
 		return
 	}
 	funcBodies(pkg, func(name string, body *ast.BlockStmt) {
-		inspectSkippingFuncLits(body, func(n ast.Node) {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return
-			}
-			tv, ok := pkg.Info.Types[rs.X]
-			if !ok {
-				return
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return
-			}
-			scan := &mapLoopScan{pkg: pkg, loop: rs, funcBody: body}
-			scan.classifyBlock(rs.Body)
-			if scan.leak == nil {
-				scan.checkPendingSorted()
-			}
-			if scan.leak != nil {
-				r.Reportf(rs.Pos(), "iteration over %s leaks map order: %s", shortType(tv.Type), scan.leak.why)
-			}
+		scanMapLoops(pkg, body, func(rs *ast.RangeStmt, t types.Type, why string) {
+			r.Reportf(rs.Pos(), "iteration over %s leaks map order: %s", shortType(t), why)
 		})
+	})
+}
+
+// scanMapLoops reports every order-leaking map range of body (nested
+// function literals skipped — each literal is scanned as its own body)
+// through report. Shared between the per-package map-order rule and
+// the interprocedural taint summaries.
+func scanMapLoops(pkg *Package, body *ast.BlockStmt, report func(rs *ast.RangeStmt, t types.Type, why string)) {
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		scan := &mapLoopScan{pkg: pkg, loop: rs, funcBody: body}
+		scan.classifyBlock(rs.Body)
+		if scan.leak == nil {
+			scan.checkPendingSorted()
+		}
+		if scan.leak != nil {
+			report(rs, tv.Type, scan.leak.why)
+		}
 	})
 }
 

@@ -49,34 +49,63 @@ func (nondeterminismRule) Check(pkg *Package, r *Reporter) {
 	if !isDeterministic(pkg) {
 		return
 	}
+	// Direct calls anywhere in the file, package-level initializers
+	// included.
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			f := calleeFunc(pkg.Info, call)
-			if f == nil || f.Pkg() == nil {
-				return true
-			}
-			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
-				// Methods are fine: r.Float64() on a seeded *rand.Rand and
-				// t.Format() on an injected time.Time are the approved
-				// idioms — only the package-level entry points reach the
-				// wall clock or the shared global stream.
-				return true
-			}
-			switch f.Pkg().Path() {
-			case "time":
-				if why, bad := forbiddenTime[f.Name()]; bad {
-					r.Reportf(call.Pos(), "time.%s %s; deterministic packages must derive all timing from injected values", f.Name(), why)
-				}
-			case "math/rand", "math/rand/v2":
-				if forbiddenRand[f.Name()] {
-					r.Reportf(call.Pos(), "rand.%s draws from the global math/rand stream, whose order depends on goroutine interleaving; use a seeded generator from internal/rng", f.Name())
-				}
+			if call, ok := n.(*ast.CallExpr); ok {
+				reportForbidden(pkg, r, call, calleeFunc(pkg.Info, call))
 			}
 			return true
 		})
+	}
+	// Calls through local function variables and method values:
+	// `f := time.Now; f()` reads the clock exactly as the direct call
+	// does, so the resolver follows the binding.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bindings := funcBindings(pkg.Info, fd.Body)
+			if len(bindings) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || calleeFunc(pkg.Info, call) != nil {
+					return true
+				}
+				for _, f := range resolveCallees(pkg.Info, call, bindings) {
+					reportForbidden(pkg, r, call, f)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportForbidden flags call when f is one of the forbidden time or
+// math/rand entry points. Methods are fine: r.Float64() on a seeded
+// *rand.Rand and t.Format() on an injected time.Time are the approved
+// idioms — only the package-level entry points reach the wall clock or
+// the shared global stream.
+func reportForbidden(pkg *Package, r *Reporter, call *ast.CallExpr, f *types.Func) {
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if why, bad := forbiddenTime[f.Name()]; bad {
+			r.Reportf(call.Pos(), "time.%s %s; deterministic packages must derive all timing from injected values", f.Name(), why)
+		}
+	case "math/rand", "math/rand/v2":
+		if forbiddenRand[f.Name()] {
+			r.Reportf(call.Pos(), "rand.%s draws from the global math/rand stream, whose order depends on goroutine interleaving; use a seeded generator from internal/rng", f.Name())
+		}
 	}
 }

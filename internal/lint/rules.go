@@ -60,7 +60,7 @@ var goAllowedPkgs = map[string]bool{
 // isDeterministic reports whether pkg is under the deterministic-output
 // invariant.
 func isDeterministic(pkg *Package) bool {
-	return deterministicPkgs[pkg.Path] || pkg.detTag
+	return deterministicPkgs[pkg.Path] || len(pkg.detTags) > 0
 }
 
 // isGoAllowed reports whether pkg may use naked go statements.

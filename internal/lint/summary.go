@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the determinism contract.
+// The per-package nondeterminism and map-order rules catch a
+// deterministic package that reads the wall clock directly; they are
+// blind to a helper in internal/fetch or internal/sched that reads the
+// clock and hands the value back. Here every function of every loaded
+// package gets a summary — does it, transitively through every named
+// call, reach a wall-clock/timer entry point, the global math/rand
+// stream, or an order-leaking map iteration? — the summaries are
+// propagated over the call graph to a fixed point, and a deterministic
+// package calling a tainted helper in a non-deterministic package is
+// reported with the full call chain (Run → fetch.stamp → time.Now) so
+// the reader never has to reconstruct the path by hand.
+//
+// Sanctioning is explicit and audited, at either end of the edge:
+//
+//   - at the call site, a plain `//lint:ignore determinism-taint --
+//     reason` suppresses one call, like any other rule;
+//   - on the callee's declaration (its own line or the doc-comment
+//     line above), the same directive is a taint barrier: the function
+//     declares that its clock/rand/map-order effects never reach
+//     deterministic output (queue-wait histograms, retry pacing), and
+//     no caller anywhere is flagged for reaching it. A barrier on a
+//     function with no live taint is reported stale by the audit, so
+//     barriers rot no more quietly than ignores.
+
+const (
+	taintRuleName = "determinism-taint"
+	taintRuleDoc  = "forbid deterministic packages from calling helpers that transitively read the wall clock, draw from the global math/rand stream, or leak map iteration order"
+)
+
+// taintKind enumerates the taint facts a summary tracks.
+type taintKind int
+
+const (
+	taintClock    taintKind = iota // wall-clock reads and ambient timers
+	taintRand                      // the global math/rand stream
+	taintMapOrder                  // map iteration order leaking into escaping state
+	numTaintKinds
+)
+
+// directRule is the per-package rule that owns kind's direct findings;
+// a source suppressed under it does not enter the summaries.
+func (k taintKind) directRule() string {
+	if k == taintMapOrder {
+		return "map-order"
+	}
+	return "nondeterminism"
+}
+
+// phrase describes what a tainted callee transitively does, for the
+// diagnostic.
+func (k taintKind) phrase() string {
+	switch k {
+	case taintClock:
+		return "transitively reads the wall clock or races an ambient timer"
+	case taintRand:
+		return "transitively draws from the global math/rand stream"
+	default:
+		return "transitively leaks map iteration order into escaping state"
+	}
+}
+
+// remedy is the fix guidance appended to kind's diagnostics.
+func (k taintKind) remedy() string {
+	switch k {
+	case taintClock:
+		return "deterministic packages must derive all timing from injected values"
+	case taintRand:
+		return "use a seeded generator from internal/rng"
+	default:
+		return "sort the keys before emitting, or sanitize the helper"
+	}
+}
+
+// taintSource is the root of one taint fact: the forbidden entry point
+// (time.Now, rand.Intn) or leaking construct (range over map[...]).
+type taintSource struct {
+	desc string // rendered at the end of the call chain
+}
+
+// taintTrace records how a function became tainted: directly (via ==
+// nil) or through a call to via, whose own trace continues the chain.
+type taintTrace struct {
+	via    *types.Func
+	source taintSource
+}
+
+// callEdge is one outgoing call of a function to a named module
+// function, positioned for reporting.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// funcSummary is the per-function unit of the interprocedural
+// analysis.
+type funcSummary struct {
+	fn      *types.Func
+	pkg     *Package
+	local   string         // receiver-qualified name, no package (caller end of chains)
+	display string         // package-qualified name (interior of chains)
+	pos     token.Position // declaration position, for deterministic ordering
+	barrier *ignoreDirective
+
+	direct [numTaintKinds]*taintSource
+	calls  []callEdge
+
+	// eff is the propagated taint with barriers honoured (what callers
+	// see); real ignores barriers and exists so the audit can tell a
+	// live barrier from a stale one.
+	eff  [numTaintKinds]*taintTrace
+	real [numTaintKinds]bool
+}
+
+// exported returns the taint trace callers inherit from this function:
+// nil when clean or when a declaration-site barrier sanctions the
+// taint.
+func (s *funcSummary) exported(k taintKind) *taintTrace {
+	if s.barrier != nil {
+		return nil
+	}
+	return s.eff[k]
+}
+
+// summarySet is the whole-program summary index.
+type summarySet struct {
+	byFunc map[*types.Func]*funcSummary
+	order  []*funcSummary // sorted by (package path, decl file, line)
+}
+
+// buildSummaries extracts a summary for every declared function of
+// every loaded module package: direct taint sources (with call-site
+// and declaration-site sanctions honoured and marked used) and the
+// outgoing call edges, resolved through method values and local
+// function variables by resolveCallees.
+func buildSummaries(l *Loader) *summarySet {
+	set := &summarySet{byFunc: map[*types.Func]*funcSummary{}}
+	for _, pkg := range l.Loaded() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fobj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fobj == nil {
+					continue
+				}
+				s := newSummary(l, pkg, fd, fobj)
+				set.byFunc[fobj] = s
+				set.order = append(set.order, s)
+			}
+		}
+	}
+	// Loaded() is path-sorted and files/decls walk in source order, so
+	// order is already deterministic; no re-sort needed.
+	return set
+}
+
+// newSummary scans one declaration: call edges, direct sources and the
+// optional declaration-site barrier.
+func newSummary(l *Loader, pkg *Package, fd *ast.FuncDecl, fobj *types.Func) *funcSummary {
+	declPos := l.Fset.Position(fd.Pos())
+	s := &funcSummary{
+		fn:      fobj,
+		pkg:     pkg,
+		local:   localName(fobj),
+		display: displayName(fobj),
+		pos:     declPos,
+		barrier: pkg.suppressor(declPos, taintRuleName),
+	}
+	bindings := funcBindings(pkg.Info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, f := range resolveCallees(pkg.Info, call, bindings) {
+			if f.Pkg() == nil {
+				continue
+			}
+			if l.isModulePath(f.Pkg().Path()) {
+				s.calls = append(s.calls, callEdge{callee: f, pos: call.Pos()})
+				continue
+			}
+			k, ok := directTaint(f)
+			if !ok || s.direct[k] != nil {
+				continue
+			}
+			pos := l.Fset.Position(call.Pos())
+			if pkg.suppressed(pos, taintRuleName) || pkg.suppressed(pos, k.directRule()) {
+				continue
+			}
+			s.direct[k] = &taintSource{desc: f.Pkg().Name() + "." + f.Name()}
+		}
+		return true
+	})
+	// Map-order leaks are scanned per body, mirroring the map-order
+	// rule: the declaration body first (literals skipped), then each
+	// literal body on its own, all attributed to the declaration.
+	if s.direct[taintMapOrder] == nil {
+		s.scanMapOrder(l, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && s.direct[taintMapOrder] == nil {
+				s.scanMapOrder(l, lit.Body)
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// scanMapOrder records the first unsanctioned order-leaking map loop
+// of body as a direct map-order source.
+func (s *funcSummary) scanMapOrder(l *Loader, body *ast.BlockStmt) {
+	scanMapLoops(s.pkg, body, func(rs *ast.RangeStmt, t types.Type, why string) {
+		if s.direct[taintMapOrder] != nil {
+			return
+		}
+		pos := l.Fset.Position(rs.Pos())
+		if s.pkg.suppressed(pos, taintRuleName) || s.pkg.suppressed(pos, taintMapOrder.directRule()) {
+			return
+		}
+		s.direct[taintMapOrder] = &taintSource{desc: "range over " + shortType(t)}
+	})
+}
+
+// directTaint classifies a resolved callee as a direct taint source:
+// the wall-clock/timer entry points of package time, or the global
+// math/rand stream. Methods never match — r.Float64() on a seeded
+// *rand.Rand and t.Format() on an injected time.Time are the approved
+// idioms; only the package-level entry points reach the wall clock or
+// the shared global stream.
+func directTaint(f *types.Func) (taintKind, bool) {
+	if f.Pkg() == nil {
+		return 0, false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return 0, false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if _, bad := forbiddenTime[f.Name()]; bad {
+			return taintClock, true
+		}
+	case "math/rand", "math/rand/v2":
+		if forbiddenRand[f.Name()] {
+			return taintRand, true
+		}
+	}
+	return 0, false
+}
+
+// propagate runs the summaries to a fixed point: a caller inherits
+// every taint kind its callees export. eff is set at most once per
+// (function, kind), in deterministic summary order, so the recorded
+// via-chains are stable across runs and concurrency shapes and always
+// terminate (a trace only ever points at a function whose own trace
+// was completed strictly earlier). real propagates the same facts with
+// barriers ignored; the audit uses it to spot stale barriers.
+func propagate(set *summarySet) {
+	for _, s := range set.order {
+		for k := taintKind(0); k < numTaintKinds; k++ {
+			if s.direct[k] != nil {
+				s.eff[k] = &taintTrace{source: *s.direct[k]}
+				s.real[k] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range set.order {
+			for _, e := range s.calls {
+				c := set.byFunc[e.callee]
+				if c == nil || c == s {
+					continue
+				}
+				for k := taintKind(0); k < numTaintKinds; k++ {
+					if c.real[k] && !s.real[k] {
+						s.real[k] = true
+						changed = true
+					}
+					if tr := c.exported(k); tr != nil && s.eff[k] == nil {
+						s.eff[k] = &taintTrace{via: c.fn, source: tr.source}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// A barrier that bars live taint is a used suppression; one on a
+	// clean function is stale and the audit will say so.
+	for _, s := range set.order {
+		if s.barrier == nil {
+			continue
+		}
+		for k := taintKind(0); k < numTaintKinds; k++ {
+			if s.real[k] {
+				s.barrier.used = true
+				break
+			}
+		}
+	}
+}
+
+// reportTaint flags every call from a checked deterministic package
+// into a tainted function of a non-deterministic package. Calls whose
+// callee lives in a deterministic package are skipped: the direct
+// rules (or this rule, at the callee's own call sites) already own the
+// source there, and one finding per reachable source is enough.
+func (r *Runner) reportTaint(set *summarySet) {
+	for _, pkg := range r.checkedPackages() {
+		if !isDeterministic(pkg) {
+			continue
+		}
+		rep := &Reporter{runner: r, pkg: pkg, rule: taintRuleName}
+		for _, s := range set.order {
+			if s.pkg != pkg {
+				continue
+			}
+			for _, e := range s.calls {
+				c := set.byFunc[e.callee]
+				if c == nil || isDeterministic(c.pkg) {
+					continue
+				}
+				for k := taintKind(0); k < numTaintKinds; k++ {
+					tr := c.exported(k)
+					if tr == nil {
+						continue
+					}
+					rep.Reportf(e.pos, "call to %s %s (%s); %s",
+						c.display, k.phrase(), set.chain(s, c, k), k.remedy())
+				}
+			}
+		}
+	}
+}
+
+// chain renders the full call chain of one finding, caller first and
+// the forbidden source last: Run → fetch.stamp → fetch.now → time.Now.
+func (set *summarySet) chain(caller, callee *funcSummary, k taintKind) string {
+	parts := []string{caller.local}
+	cur := callee
+	for depth := 0; depth < 64; depth++ {
+		parts = append(parts, cur.display)
+		tr := cur.eff[k]
+		if tr == nil {
+			break
+		}
+		if tr.via == nil {
+			parts = append(parts, tr.source.desc)
+			break
+		}
+		next := set.byFunc[tr.via]
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " → " + p
+	}
+	return out
+}
+
+// localName renders a function the way its own package sees it:
+// receiver-qualified for methods, bare otherwise.
+func localName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return types.TypeString(t, func(*types.Package) string { return "" }) + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// displayName is localName with the owning package's name prefixed,
+// for the interior of cross-package call chains.
+func displayName(f *types.Func) string {
+	name := localName(f)
+	if f.Pkg() != nil {
+		name = f.Pkg().Name() + "." + name
+	}
+	return name
+}

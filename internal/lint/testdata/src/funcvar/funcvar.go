@@ -1,0 +1,29 @@
+// Package funcvar pins the direct-rule fix for calls through function
+// variables: time.Now assigned to a local and called later used to
+// slip past the callee lookup. Both assignment forms are covered.
+//
+//lint:deterministic
+package funcvar
+
+import (
+	"math/rand"
+	"time"
+)
+
+// viaShortDecl binds the forbidden function with := and calls it.
+func viaShortDecl() time.Time {
+	f := time.Now
+	return f() // want `nondeterminism: time\.Now reads the wall clock`
+}
+
+// viaVarDecl binds it with a var declaration.
+func viaVarDecl() time.Time {
+	var f = time.Now
+	return f() // want `nondeterminism: time\.Now reads the wall clock`
+}
+
+// viaRand covers the global-rand list through the same blind spot.
+func viaRand() int {
+	g := rand.Intn
+	return g(6) // want `nondeterminism: rand\.Intn draws from the global math/rand stream`
+}

@@ -1,0 +1,34 @@
+// Package staleignore exercises the suppression audit: a directive
+// that suppresses nothing during the run is itself a finding, whether
+// it never matched, lists several rules, or sits too far from the
+// violation it used to cover.
+//
+//lint:deterministic
+package staleignore
+
+import "time"
+
+// used carries a live suppression: the directive matches the call on
+// the next line, so the audit stays quiet about it.
+func used() time.Time {
+	//lint:ignore nondeterminism -- fixture: progress stamp only, never exported
+	return time.Now()
+}
+
+// clean has nothing to suppress, so its directive is stale.
+//
+//lint:ignore map-order -- fixture: nothing here ranges over a map // want `stale-ignore: //lint:ignore map-order suppresses no finding on this line or the line below`
+func clean() int { return 1 }
+
+// multiRule shows the sorted rule list in the stale message.
+//
+//lint:ignore map-order,nondeterminism -- fixture: neither rule fires here // want `stale-ignore: //lint:ignore map-order,nondeterminism suppresses no finding`
+func multiRule() int { return 2 }
+
+// wrongLine's directive is two lines above the violation: out of
+// range, so the violation fires and the directive is stale.
+func wrongLine() time.Time {
+	//lint:ignore nondeterminism -- fixture: drifted away from the call it explains // want `stale-ignore: //lint:ignore nondeterminism suppresses no finding`
+	_ = 0
+	return time.Now() // want `nondeterminism: time\.Now reads the wall clock`
+}

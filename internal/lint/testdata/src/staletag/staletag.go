@@ -1,0 +1,13 @@
+// Package staletag exercises the deterministic-tag audit: the first
+// tag is the opt-in, the second changes nothing and is reported.
+//
+//lint:deterministic
+//lint:deterministic // want `stale-deterministic-tag: duplicate //lint:deterministic tag: the package is already opted in at .*staletag\.go:4`
+package staletag
+
+import "time"
+
+// stamp keeps the fixture red independently of the audit.
+func stamp() time.Time {
+	return time.Now() // want `nondeterminism: time\.Now reads the wall clock`
+}

@@ -1,0 +1,46 @@
+// Package helper is the non-deterministic dependency of the taint
+// fixture: its exported functions reach the wall clock, the global
+// math/rand stream and an order-leaking map range only through
+// unexported helpers, so any finding against a caller must come from
+// the interprocedural summaries, never from the direct rules.
+package helper
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// now is the package's only wall-clock read: two hops away from the
+// callers the fixture flags.
+func now() int64 { return time.Now().UnixNano() }
+
+// Stamp reaches the wall clock through now.
+func Stamp() int64 { return now() }
+
+// Clock carries the same reach as a method, for the method-value case.
+type Clock struct{}
+
+// Stamp reaches the wall clock through now.
+func (Clock) Stamp() int64 { return now() }
+
+func draw() int { return rand.Intn(10) }
+
+// Draw reaches the global math/rand stream through draw.
+func Draw() int { return draw() }
+
+// Join leaks map iteration order into its return value.
+func Join(m map[string]string) string {
+	var sb strings.Builder
+	for k, v := range m {
+		sb.WriteString(k)
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// Paced stalls on the wall clock, but its declaration-site barrier
+// sanctions the taint for every caller.
+//
+//lint:ignore determinism-taint -- fixture: pacing only; nothing the caller sees derives from the clock
+func Paced() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,51 @@
+// Package taint exercises the interprocedural determinism-taint rule:
+// every finding here names a helper whose forbidden effect is at least
+// one call away, with the full chain in the message. The helper
+// package is deliberately not deterministic-tagged — taint findings
+// fire only on det → non-det edges.
+//
+//lint:deterministic
+package taint
+
+import "repro/internal/lint/testdata/src/taint/helper"
+
+// Run reaches time.Now two hops away: Run → helper.Stamp → helper.now.
+func Run() int64 {
+	return helper.Stamp() // want `determinism-taint: call to helper\.Stamp transitively reads the wall clock or races an ambient timer \(Run → helper\.Stamp → helper\.now → time\.Now\); deterministic packages must derive all timing from injected values`
+}
+
+// Draw reaches the global math/rand stream through two hops.
+func Draw() int {
+	return helper.Draw() // want `determinism-taint: call to helper\.Draw transitively draws from the global math/rand stream \(Draw → helper\.Draw → helper\.draw → rand\.Intn\); use a seeded generator from internal/rng`
+}
+
+// Emit leaks map order through the helper's unsorted range.
+func Emit(m map[string]string) string {
+	return helper.Join(m) // want `determinism-taint: call to helper\.Join transitively leaks map iteration order into escaping state \(Emit → helper\.Join → range over map\[string\]string\); sort the keys before emitting, or sanitize the helper`
+}
+
+// FuncVar calls the tainted helper through a local function variable —
+// the blind spot a plain callee lookup misses.
+func FuncVar() int64 {
+	f := helper.Stamp
+	return f() // want `determinism-taint: call to helper\.Stamp transitively reads the wall clock`
+}
+
+// MethodValue calls the tainted method through a bound method value.
+func MethodValue(c helper.Clock) int64 {
+	f := c.Stamp
+	return f() // want `determinism-taint: call to helper\.Clock\.Stamp transitively reads the wall clock or races an ambient timer \(MethodValue → helper\.Clock\.Stamp → helper\.now → time\.Now\)`
+}
+
+// Sanctioned shows the call-site escape hatch: one reasoned ignore
+// suppresses one edge, and the audit sees it used.
+func Sanctioned() int64 {
+	//lint:ignore determinism-taint -- fixture: the stamp feeds a log line only, never exported bytes
+	return helper.Stamp()
+}
+
+// UsesPaced is clean: the callee's declaration-site barrier sanctions
+// its clock use for every caller.
+func UsesPaced() {
+	helper.Paced()
+}

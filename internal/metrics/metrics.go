@@ -683,7 +683,6 @@ func (r *Registry) AddDeterministic(d Deterministic) {
 		if p.countries == nil {
 			p.countries = make(map[string]CountryCounters)
 		}
-		//lint:ignore map-order -- each country key is stored at most once per run; map writes to distinct keys commute
 		for code, c := range d.Pipeline.Countries {
 			p.countries[code] = c
 		}

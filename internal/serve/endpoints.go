@@ -300,7 +300,6 @@ var endpoints = []endpoint{
 	{name: "fig4", render: func(s *Snapshot, _ map[string]string) (any, error) {
 		regional := s.ix.RegionalShares()
 		out := make(map[string]sharesWire, len(regional))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for reg, sh := range regional {
 			out[string(reg)] = sharesWireOf(sh)
 		}
@@ -309,7 +308,6 @@ var endpoints = []endpoint{
 	{name: "fig5", render: func(s *Snapshot, _ map[string]string) (any, error) {
 		byCountry := s.ix.CountryShares()
 		out := make(map[string]sharesWire, len(byCountry))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for c, sh := range byCountry {
 			out[c] = sharesWireOf(sh)
 		}
@@ -321,7 +319,6 @@ var endpoints = []endpoint{
 	{name: "fig8", render: func(s *Snapshot, _ map[string]string) (any, error) {
 		regional := s.ix.RegionalDomesticIntl()
 		out := make(map[string]splitWire, len(regional))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for reg, sp := range regional {
 			out[string(reg)] = splitWireOf(sp)
 		}
@@ -355,10 +352,8 @@ var endpoints = []endpoint{
 	{name: "matrix", params: kindSpec, render: func(s *Snapshot, p map[string]string) (any, error) {
 		matrix := s.ix.RegionFlowMatrix(s.w, kindParam(p))
 		out := make(map[string]map[string]int, len(matrix))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for src, row := range matrix {
 			wireRow := make(map[string]int, len(row))
-			//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 			for dst, n := range row {
 				wireRow[string(dst)] = n
 			}
@@ -369,7 +364,6 @@ var endpoints = []endpoint{
 	{name: "affinity", render: func(s *Snapshot, _ map[string]string) (any, error) {
 		aff := s.ix.RegionalAffinity(s.w)
 		out := make(map[string]map[string]float64, len(aff))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for reg, row := range aff {
 			out[string(reg)] = row
 		}
@@ -392,7 +386,6 @@ var endpoints = []endpoint{
 	{name: "table5", render: func(s *Snapshot, _ map[string]string) (any, error) {
 		shares := s.ix.InRegionShare(s.w)
 		out := make(map[string]float64, len(shares))
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for reg, v := range shares {
 			out[string(reg)] = v
 		}
@@ -414,7 +407,6 @@ var endpoints = []endpoint{
 			FailuresByKind:  s.ds.FailuresByKind,
 			FailedCountries: s.ds.FailedCountries,
 		}
-		//lint:ignore map-order -- building a map from a map; encoding/json sorts the keys
 		for code, st := range s.ds.PerCountry {
 			out.Countries[code] = countryCoverageWire{
 				Region: string(st.Region), LandingURLs: st.LandingURLs,

@@ -124,7 +124,6 @@ func sharedCountries(verify []*serve.Snapshot) []string {
 		}
 	}
 	var codes []string
-	//lint:ignore map-order -- sorted immediately below
 	for c, n := range counts {
 		if n == len(verify) {
 			codes = append(codes, c)
@@ -203,6 +202,8 @@ func (f httpFetcher) Fetch(ctx context.Context, u string) (*fetch.Response, erro
 // Run executes the load plan against cfg.BaseURL and verifies every
 // response. It returns an error only for setup failures; request
 // failures and body mismatches are counted in the Result.
+//
+//lint:ignore determinism-taint -- harness wall times and latency stamps; the verification verdict compares bodies byte-for-byte and never depends on the clock
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.BaseURL == "" {
 		return nil, errors.New("loadgen: BaseURL is required")

@@ -49,6 +49,7 @@ func (s *Server) Close() error {
 	return nil
 }
 
+//lint:ignore determinism-taint -- per-connection idle deadlines on the live test wire; rendered WHOIS records are clock-free
 func (s *Server) serve(ln net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -89,6 +90,8 @@ func (s *Server) serve(ln net.Listener) {
 }
 
 // Query performs one WHOIS lookup against the server at addr.
+//
+//lint:ignore determinism-taint -- socket-deadline fallback when the context carries none; the parsed record is clock-free
 func Query(ctx context.Context, server string, addr netip.Addr) (Record, error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", server)
