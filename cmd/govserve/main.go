@@ -51,6 +51,7 @@ func main() {
 		scale     = flag.Float64("scale", 0.1, "study scale for -run / -from-checkpoint manifest matching")
 		countries = flag.String("countries", "", "comma-separated ISO codes for -run / -from-checkpoint")
 		workers   = flag.Int("workers", 0, "concurrent request renders; excess requests queue (default 8)")
+		ixWorkers = flag.Int("index-workers", 0, "goroutines for the analysis index build on startup and reload; any value serves byte-identical bodies (default 8)")
 
 		lgMode   = flag.Bool("loadgen", false, "run as the load harness against -base instead of serving")
 		base     = flag.String("base", "", "loadgen: daemon base URL")
@@ -64,13 +65,13 @@ func main() {
 	flag.Parse()
 
 	if *lgMode {
-		if err := runLoadgen(*base, *requests, *lgConc, *seed, *verify, *reloadAt, *reloadTo, *outPath); err != nil {
+		if err := runLoadgen(*base, *requests, *lgConc, *seed, *verify, *reloadAt, *reloadTo, *outPath, *ixWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, "govserve:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := runDaemon(*addr, *fromJSONL, *fromCkpt, *runStudy, *seed, *scale, *countries, *workers); err != nil {
+	if err := runDaemon(*addr, *fromJSONL, *fromCkpt, *runStudy, *seed, *scale, *countries, *workers, *ixWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "govserve:", err)
 		os.Exit(1)
 	}
@@ -84,9 +85,10 @@ func studyConfig(seed int64, scale float64, countries string) govhost.Config {
 	return cfg
 }
 
-func runDaemon(addr, fromJSONL, fromCkpt string, runStudy bool, seed int64, scale float64, countries string, workers int) error {
+func runDaemon(addr, fromJSONL, fromCkpt string, runStudy bool, seed int64, scale float64, countries string, workers, ixWorkers int) error {
 	ctx := context.Background()
 	cfg := studyConfig(seed, scale, countries)
+	cfg.AnalysisWorkers = ixWorkers
 
 	var (
 		snap *serve.Snapshot
@@ -95,7 +97,7 @@ func runDaemon(addr, fromJSONL, fromCkpt string, runStudy bool, seed int64, scal
 	)
 	switch {
 	case fromJSONL != "":
-		snap, err = govhost.ServeSnapshotFromJSONL(fromJSONL)
+		snap, err = govhost.ServeSnapshotFromJSONLWorkers(fromJSONL, ixWorkers)
 		src = serve.Source{Kind: "jsonl", Path: fromJSONL}
 	case fromCkpt != "":
 		c := cfg
@@ -165,7 +167,7 @@ func runDaemon(addr, fromJSONL, fromCkpt string, runStudy bool, seed int64, scal
 	}
 }
 
-func runLoadgen(base string, requests, concurrency int, seed int64, verify string, reloadAt int, reloadTo, outPath string) error {
+func runLoadgen(base string, requests, concurrency int, seed int64, verify string, reloadAt int, reloadTo, outPath string, ixWorkers int) error {
 	if base == "" {
 		return fmt.Errorf("-loadgen requires -base")
 	}
@@ -174,7 +176,7 @@ func runLoadgen(base string, requests, concurrency int, seed int64, verify strin
 	}
 	var snaps []*serve.Snapshot
 	for _, path := range strings.Split(verify, ",") {
-		snap, err := govhost.ServeSnapshotFromJSONL(path)
+		snap, err := govhost.ServeSnapshotFromJSONLWorkers(path, ixWorkers)
 		if err != nil {
 			return err
 		}

@@ -182,7 +182,7 @@ func (s *Study) reportFig5() string {
 			kind = analysis.SignatureBytes
 			label = "Bytes"
 		}
-		branches, err := analysis.BranchAssignment(s.ds, kind)
+		branches, err := analysis.BranchAssignment(s.index(), kind)
 		if err != nil {
 			fmt.Fprintf(&b, "%s: clustering failed: %v\n", label, err)
 			continue
@@ -200,7 +200,7 @@ func (s *Study) reportFig5() string {
 			fmt.Fprintf(&b, "  %-12s (%2d): %s\n", cat, len(byCat[cat]), strings.Join(byCat[cat], " "))
 		}
 	}
-	if branches, err := analysis.BranchAssignment(s.ds, analysis.SignatureURLs); err == nil {
+	if branches, err := analysis.BranchAssignment(s.index(), analysis.SignatureURLs); err == nil {
 		agree, total := 0, 0
 		for code, got := range branches {
 			want, ok := world.PaperDominant(code)
@@ -219,7 +219,7 @@ func (s *Study) reportFig5() string {
 	}
 	b.WriteString("paper: three principal branches (Govt&SOE / 3P Local / 3P Global);\n")
 	b.WriteString("e.g. BR, VN, RU share the Govt&SOE branch; AR global, BR govt, CL local.\n")
-	if root, err := analysis.ClusterCountries(s.ds, analysis.SignatureURLs); err == nil {
+	if root, err := analysis.ClusterCountries(s.index(), analysis.SignatureURLs); err == nil {
 		b.WriteString("\nURL-signature dendrogram (Ward heights):\n")
 		b.WriteString(cluster.Render(root))
 	}

@@ -95,6 +95,13 @@ type Config struct {
 	// default; the instrumentation costs well under 3 % of a run).
 	DisableMetrics bool
 
+	// AnalysisWorkers partitions the one-pass analysis index build
+	// across this many goroutines (0 picks a default of 8, 1 scans
+	// inline). Any value produces a byte-identical index — the partial
+	// aggregates merge exactly — so the knob trades only wall-clock
+	// time, never output.
+	AnalysisWorkers int
+
 	// CheckpointDir, when set, persists each finished country into the
 	// directory as it completes, so a killed run can be resumed instead
 	// of restarted. See Resume.
@@ -154,8 +161,16 @@ type Study struct {
 
 // index returns the memoized analysis index.
 func (s *Study) index() *analysis.Index {
-	s.idxOnce.Do(func() { s.idx = analysis.BuildIndex(s.ds) })
+	s.idxOnce.Do(func() { s.idx = analysis.BuildIndexWorkers(s.ds, analysisWorkers(s.cfg.AnalysisWorkers)) })
 	return s.idx
+}
+
+// analysisWorkers resolves the AnalysisWorkers knob: 0 defaults to 8.
+func analysisWorkers(n int) int {
+	if n == 0 {
+		return 8
+	}
+	return n
 }
 
 // Run executes the full pipeline: environment materialisation,
@@ -346,7 +361,7 @@ func (s *Study) ClusterBranches(byBytes bool) ([][]string, error) {
 	if byBytes {
 		kind = analysis.SignatureBytes
 	}
-	root, err := analysis.ClusterCountries(s.ds, kind)
+	root, err := analysis.ClusterCountries(s.index(), kind)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +399,7 @@ type Coefficient struct {
 // ExplanatoryModel returns the Appendix E OLS fit and the Table 7 VIF
 // values.
 func (s *Study) ExplanatoryModel() ([]Coefficient, map[string]float64, error) {
-	res, err := analysis.ExplainForeignHosting(s.ds, s.env.World)
+	res, err := analysis.ExplainForeignHosting(s.index(), s.env.World)
 	if err != nil {
 		return nil, nil, err
 	}

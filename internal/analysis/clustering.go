@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
-	"repro/internal/dataset"
 	"repro/internal/world"
 )
 
@@ -18,10 +17,11 @@ const (
 )
 
 // ClusterCountries builds the §5.3 dendrogram: every country becomes a
-// four-dimensional hosting signature (its category shares) and the
-// countries are clustered with Ward-linkage HCA.
-func ClusterCountries(ds *dataset.Dataset, kind SignatureKind) (*cluster.Node, error) {
-	shares := CountryShares(ds)
+// four-dimensional hosting signature (its category shares, straight
+// from the index — no dataset rescan) and the countries are clustered
+// with Ward-linkage HCA.
+func ClusterCountries(ix *Index, kind SignatureKind) (*cluster.Node, error) {
+	shares := ix.CountryShares()
 	codes := make([]string, 0, len(shares))
 	for c := range shares {
 		codes = append(codes, c)
@@ -46,13 +46,13 @@ func ClusterCountries(ds *dataset.Dataset, kind SignatureKind) (*cluster.Node, e
 // BranchAssignment maps every country to the dominant category of the
 // three-branch cut of its dendrogram, validating the Fig. 5 reading
 // that each main branch corresponds to a principal hosting source.
-func BranchAssignment(ds *dataset.Dataset, kind SignatureKind) (map[string]world.Category, error) {
-	root, err := ClusterCountries(ds, kind)
+func BranchAssignment(ix *Index, kind SignatureKind) (map[string]world.Category, error) {
+	root, err := ClusterCountries(ix, kind)
 	if err != nil {
 		return nil, err
 	}
 	branches := cluster.Cut(root, 3)
-	shares := CountryShares(ds)
+	shares := ix.CountryShares()
 	out := map[string]world.Category{}
 	for _, branch := range branches {
 		// The branch's identity is the category that dominates most of

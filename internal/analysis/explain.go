@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/dataset"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
@@ -24,27 +23,28 @@ var featureNames = []string{"internet_users", "HDI", "IDI", "NRI", "GDP", "econ_
 
 // ExplainForeignHosting fits the Appendix E regression: the share of a
 // country's government URLs served from abroad against standardized
-// development covariates.
-func ExplainForeignHosting(ds *dataset.Dataset, w *world.Model) (*ExplanatoryResult, error) {
+// development covariates. The per-country outcome counts come from
+// the index's location-flow edges instead of a dataset rescan: a
+// record contributes to locPairs exactly when it has a serving
+// location, and it is abroad exactly when the destination differs
+// from the source, so the integer counts — and the outcome shares
+// computed from them — are bit-identical to the record scan's.
+func ExplainForeignHosting(ix *Index, w *world.Model) (*ExplanatoryResult, error) {
 	type row struct {
 		code    string
 		outcome float64
 		feats   [6]float64
 	}
 	perCountry := map[string]*[2]int{} // [abroad, total-with-location]
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		if r.ServeCountry == "" {
-			continue
-		}
-		c := perCountry[r.Country]
+	for k, n := range ix.locPairs {
+		c := perCountry[k[0]]
 		if c == nil {
 			c = &[2]int{}
-			perCountry[r.Country] = c
+			perCountry[k[0]] = c
 		}
-		c[1]++
-		if !r.Domestic() {
-			c[0]++
+		c[1] += n
+		if k[1] != k[0] {
+			c[0] += n
 		}
 	}
 	var rows []row

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
@@ -15,13 +16,17 @@ import (
 // all of them into a single pass and answers each query from the
 // aggregates in O(countries) or O(edges).
 //
-// Equivalence is exact, not approximate: every float accumulation
-// (category byte shares, per-ASN byte totals) folds records in the
-// same forward scan order as the function it replaces, so the low
-// bits match and golden reports stay byte-identical. The integer
-// aggregates (split counts, flow edges, provider footprints) are
-// order-independent sums. IndexEquivalence tests pin each query to
-// its package-level counterpart.
+// Equivalence is exact, not approximate: every float accumulation in
+// the index (category byte shares, per-ASN byte totals) is a sum of
+// integer-valued terms — URL counts increment by one, byte totals add
+// int64 payload sizes — far below 2⁵³, so float addition is exact and
+// order-independent. The scan can therefore run sequentially or
+// partitioned across workers (BuildIndexWorkers) and every aggregate,
+// and every figure rendered from it, stays byte-identical. The
+// integer aggregates (split counts, flow edges, provider footprints)
+// are order-independent sums outright. IndexEquivalence tests pin
+// each query to its package-level counterpart, and the worker-sweep
+// test pins the parallel build to the sequential one.
 type Index struct {
 	global   Shares
 	byRegion map[world.Region]Shares
@@ -76,6 +81,13 @@ func (c *splitCounts) add(r *dataset.URLRecord) {
 	}
 }
 
+func (c *splitCounts) merge(o splitCounts) {
+	c.nReg += o.nReg
+	c.regDom += o.regDom
+	c.nGeo += o.nGeo
+	c.geoDom += o.geoDom
+}
+
 func (c splitCounts) shares() SplitShares {
 	s := SplitShares{NReg: c.nReg, NGeo: c.nGeo}
 	if c.nReg > 0 {
@@ -97,7 +109,51 @@ type divAcc struct {
 // BuildIndex aggregates the dataset in a single scan of ds.Topsites
 // (to learn the comparison subset) and one scan of ds.Records.
 func BuildIndex(ds *dataset.Dataset) *Index {
-	ix := &Index{
+	return BuildIndexWorkers(ds, 1)
+}
+
+// BuildIndexWorkers builds the same Index with the record scan
+// partitioned across workers goroutines on sched.Workers. Each worker
+// folds a contiguous chunk of ds.Records — cut only at country
+// boundaries, so one country's rows stay together when the dataset is
+// grouped (the deterministic merge sink emits it that way) — into a
+// private partial Index, and the partials merge left-to-right in
+// record order. The result is byte-identical to the sequential scan
+// at any worker count: every float accumulator is a sum of
+// integer-valued terms, so the merge's reassociation cannot change a
+// bit (see the type comment), and the one last-wins aggregate
+// (provider org names) merges in chunk order, which is scan order.
+// workers <= 1 scans inline.
+func BuildIndexWorkers(ds *dataset.Dataset, workers int) *Index {
+	ix := newIndex()
+	subset := map[string]bool{}
+	for i := range ds.Topsites {
+		r := &ds.Topsites[i]
+		subset[r.Country] = true
+		ix.topsites.add(r)
+		ix.topSplit.add(r)
+	}
+
+	bounds := chunkBounds(ds.Records, workers)
+	if len(bounds) <= 1 {
+		ix.scan(ds.Records, subset)
+		return ix
+	}
+	parts := make([]*Index, len(bounds))
+	wait := sched.Workers(len(bounds), func(w int) {
+		p := newIndex()
+		p.scan(ds.Records[bounds[w][0]:bounds[w][1]], subset)
+		parts[w] = p
+	})
+	wait()
+	for _, p := range parts {
+		ix.mergeFrom(p)
+	}
+	return ix
+}
+
+func newIndex() *Index {
+	return &Index{
 		byRegion:          map[world.Region]Shares{},
 		byCountry:         map[string]Shares{},
 		regionSplit:       map[world.Region]splitCounts{},
@@ -108,17 +164,41 @@ func BuildIndex(ds *dataset.Dataset) *Index {
 		providerOrgs:      map[int]string{},
 		diversify:         map[string]*divAcc{},
 	}
+}
 
-	subset := map[string]bool{}
-	for i := range ds.Topsites {
-		r := &ds.Topsites[i]
-		subset[r.Country] = true
-		ix.topsites.add(r)
-		ix.topSplit.add(r)
+// chunkBounds cuts recs into at most n contiguous [lo, hi) chunks,
+// advancing each cut to the next country boundary so a grouped
+// country's rows never straddle two workers. Fewer chunks come back
+// when the groups are coarse relative to n.
+func chunkBounds(recs []dataset.URLRecord, n int) [][2]int {
+	if n < 1 {
+		n = 1
 	}
+	var bounds [][2]int
+	total := len(recs)
+	lo := 0
+	for w := 1; w <= n && lo < total; w++ {
+		hi := w * total / n
+		if w == n {
+			hi = total
+		}
+		if hi <= lo {
+			continue
+		}
+		for hi < total && recs[hi].Country == recs[hi-1].Country {
+			hi++
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		lo = hi
+	}
+	return bounds
+}
 
-	for i := range ds.Records {
-		r := &ds.Records[i]
+// scan folds a contiguous run of records into the index. subset is
+// the topsite-country set, shared read-only across workers.
+func (ix *Index) scan(recs []dataset.URLRecord, subset map[string]bool) {
+	for i := range recs {
+		r := &recs[i]
 
 		ix.global.add(r)
 		ix.globalSplit.add(r)
@@ -164,7 +244,70 @@ func BuildIndex(ds *dataset.Dataset) *Index {
 			ix.subsetSplit.add(r)
 		}
 	}
-	return ix
+}
+
+// mergeFrom folds a partial index built from a later chunk of the
+// record scan into ix. Every aggregate is an order-independent sum
+// (the float ones are integer-valued, so addition is exact), except
+// providerOrgs, which is last-wins: callers must merge partials in
+// record order. The topsite aggregates are never populated in
+// partials — the topsites scan runs once up front.
+func (ix *Index) mergeFrom(p *Index) {
+	ix.global.merge(p.global)
+	ix.globalSplit.merge(p.globalSplit)
+	for reg, s := range p.byRegion {
+		acc := ix.byRegion[reg]
+		acc.merge(s)
+		ix.byRegion[reg] = acc
+	}
+	for reg, c := range p.regionSplit {
+		acc := ix.regionSplit[reg]
+		acc.merge(c)
+		ix.regionSplit[reg] = acc
+	}
+	for c, s := range p.byCountry {
+		acc := ix.byCountry[c]
+		acc.merge(s)
+		ix.byCountry[c] = acc
+	}
+	for c, reg := range p.countryRegion {
+		ix.countryRegion[c] = reg
+	}
+	for k, n := range p.regPairs {
+		ix.regPairs[k] += n
+	}
+	for k, n := range p.locPairs {
+		ix.locPairs[k] += n
+	}
+	for asn, set := range p.providerCountries {
+		dst := ix.providerCountries[asn]
+		if dst == nil {
+			ix.providerCountries[asn] = set
+			continue
+		}
+		for c := range set {
+			dst[c] = true
+		}
+	}
+	for asn, org := range p.providerOrgs {
+		ix.providerOrgs[asn] = org
+	}
+	for c, pa := range p.diversify {
+		a := ix.diversify[c]
+		if a == nil {
+			ix.diversify[c] = pa
+			continue
+		}
+		for asn, v := range pa.urlsByASN {
+			a.urlsByASN[asn] += v
+		}
+		for asn, v := range pa.bytesByASN {
+			a.bytesByASN[asn] += v
+		}
+		a.shares.merge(pa.shares)
+	}
+	ix.subsetGov.merge(p.subsetGov)
+	ix.subsetSplit.merge(p.subsetSplit)
 }
 
 // pairs selects the flow-edge map for a kind.

@@ -31,6 +31,18 @@ func (s *Shares) add(r *dataset.URLRecord) {
 	s.NByte += r.Bytes
 }
 
+// merge folds another accumulator in. All four fields are sums of
+// integer-valued terms, so merging partials is exact — the parallel
+// index build relies on this.
+func (s *Shares) merge(o Shares) {
+	for i := range s.URLs {
+		s.URLs[i] += o.URLs[i]
+		s.Bytes[i] += o.Bytes[i]
+	}
+	s.NURL += o.NURL
+	s.NByte += o.NByte
+}
+
 // normalize converts counts to fractions.
 func (s *Shares) normalize() {
 	s.URLs = s.URLs.Normalize()

@@ -1,9 +1,12 @@
 // Package cluster implements hierarchical agglomerative clustering
 // with Ward's minimum-variance linkage, as used in §5.3 to group
-// countries by their hosting-strategy signatures (Fig. 5). The
-// Lance–Williams recurrence updates inter-cluster distances, the
-// result is a dendrogram that can be cut into k branches, and leaves
-// are returned in dendrogram order for display.
+// countries by their hosting-strategy signatures (Fig. 5). Merges are
+// found with the nearest-neighbor-chain algorithm — O(n²) over flat
+// arrays instead of the O(n³) global-minimum scan over a distance map
+// — and reported in the same order the global-minimum algorithm would
+// report them, so the dendrogram (structure, leaf order, cuts) is
+// unchanged. The result can be cut into k branches, and leaves are
+// returned in dendrogram order for display.
 package cluster
 
 import (
@@ -37,8 +40,25 @@ func (n *Node) Leaves() []string {
 	return append(n.Left.Leaves(), n.Right.Leaves()...)
 }
 
+// merge is one recorded agglomeration: the chain-cluster ids of its
+// children (leaves are 0..n-1, the m-th merge is n+m) and the Ward
+// distance at which they joined.
+type merge struct {
+	left, right int
+	height      float64
+}
+
 // Ward clusters the rows of points (observations × features) labelled
 // by labels and returns the dendrogram root.
+//
+// The merges are discovered by the nearest-neighbor-chain algorithm:
+// follow nearest-neighbor links (ties broken toward the chain
+// predecessor, then the smallest index) until a reciprocal pair
+// appears, merge it, and continue from the remaining chain. Ward
+// linkage is reducible, so a merge never invalidates the links below
+// it on the chain and the discovered merge set equals the
+// global-minimum algorithm's. Distances live in one flat n×n array
+// updated in place via the Lance–Williams recurrence.
 func Ward(labels []string, points [][]float64) (*Node, error) {
 	if len(labels) != len(points) {
 		return nil, errors.New("cluster: labels/points length mismatch")
@@ -52,87 +72,148 @@ func Ward(labels []string, points [][]float64) (*Node, error) {
 			return nil, fmt.Errorf("cluster: row %d has %d features, want %d", i, len(p), dim)
 		}
 	}
-
-	type cl struct {
-		node *Node
-		size float64
-	}
-	active := make(map[int]*cl, len(labels))
-	for i, l := range labels {
-		active[i] = &cl{node: &Node{Label: l, Size: 1}, size: 1}
+	n := len(labels)
+	if n == 1 {
+		return &Node{Label: labels[0], Size: 1}, nil
 	}
 
 	// Squared-Euclidean distance matrix; Ward initial distances are
 	// d²/2-ish but proportionality is all the dendrogram shape needs —
 	// we use the standard "d² between singletons" convention.
-	dist := make(map[[2]int]float64)
-	key := func(a, b int) [2]int {
-		if a > b {
-			a, b = b, a
-		}
-		return [2]int{a, b}
-	}
+	d := make([]float64, n*n)
 	for i := range points {
-		for j := i + 1; j < len(points); j++ {
-			var d float64
+		for j := i + 1; j < n; j++ {
+			var v float64
 			for f := 0; f < dim; f++ {
 				diff := points[i][f] - points[j][f]
-				d += diff * diff
+				v += diff * diff
 			}
-			dist[key(i, j)] = d
+			d[i*n+j], d[j*n+i] = v, v
 		}
 	}
 
-	next := len(labels)
-	for len(active) > 1 {
-		// Find the closest active pair, with deterministic tie-breaks.
-		ids := make([]int, 0, len(active))
-		for id := range active {
-			ids = append(ids, id)
+	alive := make([]bool, n)
+	size := make([]float64, n)
+	clusterOf := make([]int, n) // representative index → chain-cluster id
+	for i := 0; i < n; i++ {
+		alive[i], size[i], clusterOf[i] = true, 1, i
+	}
+
+	merges := make([]merge, 0, n-1)
+	chain := make([]int, 0, n)
+	lowest := 0 // lowest index that may still be alive, for chain restarts
+	for len(merges) < n-1 {
+		if len(chain) == 0 {
+			for !alive[lowest] {
+				lowest++
+			}
+			chain = append(chain, lowest)
 		}
-		sort.Ints(ids)
-		bi, bj := -1, -1
-		best := math.Inf(1)
-		for x := 0; x < len(ids); x++ {
-			for y := x + 1; y < len(ids); y++ {
-				d := dist[key(ids[x], ids[y])]
-				if d < best {
-					best, bi, bj = d, ids[x], ids[y]
+		for {
+			top := chain[len(chain)-1]
+			prev := -1
+			if len(chain) >= 2 {
+				prev = chain[len(chain)-2]
+			}
+			// Nearest alive neighbor of top: minimum distance, ties to
+			// the smallest index, then to the chain predecessor (the
+			// predecessor preference is what guarantees termination
+			// under exact ties).
+			row := d[top*n : top*n+n]
+			nn, best := -1, math.Inf(1)
+			for k := 0; k < n; k++ {
+				if !alive[k] || k == top {
+					continue
+				}
+				if row[k] < best {
+					nn, best = k, row[k]
 				}
 			}
-		}
-		a, b := active[bi], active[bj]
-		merged := &cl{
-			node: &Node{
-				Left: a.node, Right: b.node,
-				Height: best,
-				Size:   a.node.Size + b.node.Size,
-			},
-			size: a.size + b.size,
-		}
-		delete(active, bi)
-		delete(active, bj)
-		// Lance–Williams update for Ward linkage.
-		for _, id := range ids {
-			if id == bi || id == bj {
+			if prev >= 0 && row[prev] == best {
+				nn = prev
+			}
+			if nn != prev {
+				chain = append(chain, nn)
 				continue
 			}
-			k := active[id]
-			dik := dist[key(bi, id)]
-			djk := dist[key(bj, id)]
-			dij := best
-			ai := (a.size + k.size) / (a.size + b.size + k.size)
-			aj := (b.size + k.size) / (a.size + b.size + k.size)
-			g := -k.size / (a.size + b.size + k.size)
-			dist[key(next, id)] = ai*dik + aj*djk + g*dij
+			// top and prev are reciprocal nearest neighbors: merge them.
+			a, b := prev, top
+			if b < a {
+				a, b = b, a
+			}
+			sa, sb := size[a], size[b]
+			h := d[a*n+b]
+			// Lance–Williams update for Ward linkage, folded into the
+			// surviving representative's row/column.
+			for k := 0; k < n; k++ {
+				if !alive[k] || k == a || k == b {
+					continue
+				}
+				sk := size[k]
+				tot := sa + sb + sk
+				ai := (sa + sk) / tot
+				aj := (sb + sk) / tot
+				g := -sk / tot
+				nd := ai*d[a*n+k] + aj*d[b*n+k] + g*h
+				d[a*n+k], d[k*n+a] = nd, nd
+			}
+			alive[b] = false
+			size[a] = sa + sb
+			merges = append(merges, merge{left: clusterOf[a], right: clusterOf[b], height: h})
+			clusterOf[a] = n + len(merges) - 1
+			chain = chain[:len(chain)-2]
+			break
 		}
-		active[next] = merged
+	}
+	return buildDendrogram(labels, merges), nil
+}
+
+// buildDendrogram replays the recorded merges in the order the
+// global-minimum algorithm reports them — ascending height (Ward
+// heights are monotone), ties by the lexicographically smallest pair
+// of replay-order cluster ids, a merge eligible only once both
+// children exist — and orients each node with the lower-id child on
+// the left. The chain discovers merges in its own order; this replay
+// restores the historical dendrogram order so leaf order, cuts and
+// rendered reports are unchanged.
+func buildDendrogram(labels []string, merges []merge) *Node {
+	n := len(labels)
+	nodes := make([]*Node, n+len(merges)) // chain-cluster id → node
+	gid := make([]int, n+len(merges))     // chain-cluster id → replay id
+	for i := 0; i < n; i++ {
+		nodes[i] = &Node{Label: labels[i], Size: 1}
+		gid[i] = i
+	}
+	done := make([]bool, len(merges))
+	next := n
+	for step := 0; step < len(merges); step++ {
+		bi, bl, br := -1, 0, 0
+		var bh float64
+		for m := range merges {
+			if done[m] || nodes[merges[m].left] == nil || nodes[merges[m].right] == nil {
+				continue
+			}
+			gl, gr := gid[merges[m].left], gid[merges[m].right]
+			if gr < gl {
+				gl, gr = gr, gl
+			}
+			h := merges[m].height
+			if bi < 0 || h < bh || (h == bh && (gl < bl || (gl == bl && gr < br))) {
+				bi, bh, bl, br = m, h, gl, gr
+			}
+		}
+		mg := merges[bi]
+		left, right := nodes[mg.left], nodes[mg.right]
+		if gid[mg.right] < gid[mg.left] {
+			left, right = right, left
+		}
+		id := n + bi
+		nodes[id] = &Node{Left: left, Right: right, Height: mg.height, Size: left.Size + right.Size}
+		gid[id] = next
 		next++
+		done[bi] = true
 	}
-	for _, c := range active {
-		return c.node, nil
-	}
-	return nil, errors.New("cluster: unreachable")
+	return nodes[n+len(merges)-1]
 }
 
 // Cut slices the dendrogram into k clusters by repeatedly splitting

@@ -427,6 +427,7 @@ type ServeMetrics struct {
 	CacheHits      Counter // responses answered from the versioned cache
 	CacheMisses    Counter // responses that rendered the body
 	CacheCoalesced Counter // hits that waited on an in-flight render
+	NotModified    Counter // conditional requests answered 304 by ETag match
 	InFlight       Gauge   // requests currently inside a handler, with high-water
 	Reloads        Counter // snapshot swaps that landed
 	ReloadFailures Counter // reload attempts refused; the old snapshot kept serving
@@ -465,6 +466,15 @@ func (m *ServeMetrics) RecordCacheHit(coalesced bool) {
 	m.CacheHits.Inc()
 	if coalesced {
 		m.CacheCoalesced.Inc()
+	}
+}
+
+// RecordNotModified counts one conditional request answered 304: the
+// client's If-None-Match matched the response's strong ETag, so no
+// body was sent. Nil-safe.
+func (m *ServeMetrics) RecordNotModified() {
+	if m != nil {
+		m.NotModified.Inc()
 	}
 }
 

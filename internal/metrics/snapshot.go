@@ -150,6 +150,7 @@ type ServeRuntime struct {
 	CacheHits         int64                        `json:"cache_hits"`
 	CacheMisses       int64                        `json:"cache_misses"`
 	CacheCoalesced    int64                        `json:"cache_coalesced"`
+	NotModified       int64                        `json:"not_modified"`
 	InFlightHighWater int64                        `json:"in_flight_high_water"`
 	Reloads           int64                        `json:"reloads"`
 	ReloadFailures    int64                        `json:"reload_failures"`
@@ -253,6 +254,7 @@ func (r *Registry) Snapshot() Snapshot {
 		CacheHits:         r.Serve.CacheHits.Load(),
 		CacheMisses:       r.Serve.CacheMisses.Load(),
 		CacheCoalesced:    r.Serve.CacheCoalesced.Load(),
+		NotModified:       r.Serve.NotModified.Load(),
 		InFlightHighWater: r.Serve.InFlight.HighWater(),
 		Reloads:           r.Serve.Reloads.Load(),
 		ReloadFailures:    r.Serve.ReloadFailures.Load(),
@@ -354,6 +356,7 @@ func (s Snapshot) Text() string {
 		line("serve.cache_hits", rt.Serve.CacheHits)
 		line("serve.cache_misses", rt.Serve.CacheMisses)
 		line("serve.cache_coalesced", rt.Serve.CacheCoalesced)
+		line("serve.not_modified", rt.Serve.NotModified)
 		line("serve.in_flight_high_water", rt.Serve.InFlightHighWater)
 		line("serve.reloads", rt.Serve.Reloads)
 		line("serve.reload_failures", rt.Serve.ReloadFailures)

@@ -72,6 +72,14 @@ type Result struct {
 	Mismatches      int            `json:"mismatches"`
 	MismatchSamples []string       `json:"mismatch_samples,omitempty"`
 	PlannedMix      map[string]int `json:"planned_mix"`
+	// Conditional counts requests sent with an If-None-Match tag
+	// precomputed from the first Verify snapshot; NotModified counts
+	// how many of those the daemon answered 304 (proof it still serves
+	// that exact version, since the strong tag encodes it). The
+	// conditional plan is a pure function of the seed; the 304 split
+	// depends on which version was serving when each request landed.
+	Conditional int `json:"conditional"`
+	NotModified int `json:"not_modified"`
 
 	ByVersion     map[string]int            `json:"by_version"`
 	ReloadStatus  int                       `json:"reload_status,omitempty"`
@@ -133,6 +141,10 @@ func sharedCountries(verify []*serve.Snapshot) []string {
 	return codes
 }
 
+// condSalt decorrelates the conditional-request draw from the mix
+// draw; both are pure per-index hashes of the seed.
+const condSalt = 0xe7a9c4d2f1b38657
+
 // splitmix64 is the per-index draw: a pure hash of (seed, index), so
 // the plan is independent of execution order.
 func splitmix64(x uint64) uint64 {
@@ -179,13 +191,30 @@ func plan(cfg *Config, mix []MixEntry) ([]int, map[string]int, error) {
 	return picks, planned, nil
 }
 
-// httpFetcher adapts net/http to the fetch.Fetcher interface.
+// HeaderFetcher is the optional extension of fetch.Fetcher a client
+// must implement for the conditional-request leg: the simulation-side
+// Fetcher carries no request headers, so a fetcher that cannot attach
+// If-None-Match simply skips that leg (every request goes out
+// unconditional, as before).
+type HeaderFetcher interface {
+	FetchWithHeader(ctx context.Context, url string, header http.Header) (*fetch.Response, error)
+}
+
+// httpFetcher adapts net/http to the fetch.Fetcher interface (plus
+// the HeaderFetcher extension).
 type httpFetcher struct{ c *http.Client }
 
 func (f httpFetcher) Fetch(ctx context.Context, u string) (*fetch.Response, error) {
+	return f.FetchWithHeader(ctx, u, nil)
+}
+
+func (f httpFetcher) FetchWithHeader(ctx context.Context, u string, header http.Header) (*fetch.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
 	}
 	res, err := f.c.Do(req)
 	if err != nil {
@@ -220,6 +249,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	queries := make([]url.Values, len(mix))
+	for j, e := range mix {
+		q, err := url.ParseQuery(e.Query)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad query %q: %w", e.Query, err)
+		}
+		queries[j] = q
+	}
+
 	// Pre-render the expected body of every mix entry under every
 	// version the daemon may serve. Verification then only needs the
 	// version a response claims: expected[version][entry] is the one
@@ -232,11 +270,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for _, snap := range cfg.Verify {
 		perEntry := make(map[int]expectation, len(mix))
 		for j, e := range mix {
-			q, err := url.ParseQuery(e.Query)
-			if err != nil {
-				return nil, fmt.Errorf("loadgen: bad query %q: %w", e.Query, err)
-			}
-			body, status := snap.Render(e.Endpoint, q)
+			body, status := snap.Render(e.Endpoint, queries[j])
 			perEntry[j] = expectation{body: body, status: status}
 		}
 		expected[snap.Version()] = perEntry
@@ -247,6 +281,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		client = httpFetcher{c: &http.Client{Timeout: 30 * time.Second}}
 	}
 	retrier := &fetch.Retrier{Inner: client, Policy: cfg.Retry}
+
+	// The conditional leg revalidates against the first Verify
+	// snapshot: every fourth request (a salted per-index draw, as
+	// order-independent as the mix draw) carries the If-None-Match tag
+	// that version would serve. A 304 proves the daemon still serves
+	// those exact bytes — the strong tag encodes version, endpoint, and
+	// canonical params — while a full 200 (after a reload swapped
+	// versions) falls through to ordinary byte verification.
+	headerClient, _ := client.(HeaderFetcher)
+	condVersion := cfg.Verify[0].Version()
 
 	concurrency := cfg.Concurrency
 	if concurrency <= 0 {
@@ -302,12 +346,44 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if e.Query != "" {
 			u += "?" + e.Query
 		}
+		var condTag string
+		if headerClient != nil && splitmix64(uint64(cfg.Seed)^condSalt^(uint64(i)*0x9e3779b97f4a7c15))%4 == 0 {
+			if exp := expected[condVersion][picks[i]]; exp.status == http.StatusOK {
+				condTag = serve.ETagFor(condVersion, e.Endpoint, queries[picks[i]])
+			}
+		}
 		t0 := time.Now()
-		resp, err := retrier.Fetch(ctx, u)
+		var resp *fetch.Response
+		var err error
+		if condTag != "" {
+			hdr := http.Header{}
+			hdr.Set("If-None-Match", condTag)
+			resp, err = headerClient.FetchWithHeader(ctx, u, hdr)
+		} else {
+			resp, err = retrier.Fetch(ctx, u)
+		}
 		lat.Observe(time.Since(t0))
 		if err != nil {
 			fail("request %d %s: %v", i, entryKey(e), err)
 			return
+		}
+		if condTag != "" {
+			mu.Lock()
+			res.Conditional++
+			mu.Unlock()
+			if resp.Status == http.StatusNotModified {
+				if len(resp.Body) != 0 {
+					mismatch("request %d %s: 304 carried %d body bytes", i, entryKey(e), len(resp.Body))
+					return
+				}
+				mu.Lock()
+				res.NotModified++
+				res.ByVersion[condVersion]++
+				mu.Unlock()
+				return
+			}
+			// Tag missed — the daemon moved to another version; the
+			// full response verifies below like any other.
 		}
 		var env struct {
 			Version string `json:"version"`

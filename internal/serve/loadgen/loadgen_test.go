@@ -102,6 +102,21 @@ func TestLoadgenVerifiesAcrossReload(t *testing.T) {
 	if res.ServerStats == nil || res.CacheHitRate <= 0 {
 		t.Fatalf("server stats missing or cold cache: %+v", res.ServerStats)
 	}
+	// Roughly a quarter of the plan goes out conditional; the tags are
+	// computed from snapA, so only requests landing before the swap can
+	// revalidate. Both halves must exist in a 600-request reload run.
+	if res.Conditional == 0 {
+		t.Fatal("no conditional requests were sent")
+	}
+	if res.NotModified == 0 {
+		t.Fatal("no conditional request was answered 304 before the reload")
+	}
+	if res.NotModified >= res.Conditional {
+		t.Fatalf("all %d conditionals answered 304 despite the version swap", res.Conditional)
+	}
+	if res.ServerStats.NotModified != int64(res.NotModified) {
+		t.Fatalf("daemon counted %d 304s, client saw %d", res.ServerStats.NotModified, res.NotModified)
+	}
 }
 
 // TestLoadgenMixAccountingIsShapeInvariant pins the determinism
@@ -125,6 +140,13 @@ func TestLoadgenMixAccountingIsShapeInvariant(t *testing.T) {
 		if res.Failed != 0 || res.Mismatches != 0 {
 			t.Fatalf("concurrency %d: failed=%d mismatches=%d samples=%v",
 				concurrency, res.Failed, res.Mismatches, res.MismatchSamples)
+		}
+		// No reload in this run: the daemon never leaves snapA, so
+		// every conditional request must revalidate, and the
+		// conditional split itself is part of the deterministic plan.
+		if res.Conditional == 0 || res.NotModified != res.Conditional {
+			t.Fatalf("concurrency %d: conditional=%d not_modified=%d, want all 304",
+				concurrency, res.Conditional, res.NotModified)
 		}
 		body, err := json.Marshal(res.PlannedMix)
 		if err != nil {

@@ -143,7 +143,12 @@ func (s *Server) Reload(ctx context.Context, src Source) (*Snapshot, error) {
 }
 
 // apiHandler wraps one endpoint: drain check, in-flight accounting,
-// bounded render through the pool, latency recording.
+// bounded render through the pool, conditional-request handling,
+// latency recording. A 200 with a canonical parameter set carries a
+// strong ETag (version + canonical-key digest); when the request's
+// If-None-Match matches it, the handler answers 304 with the tag and
+// version headers and no body — the client's cached bytes are the
+// ones this snapshot would have served.
 func (s *Server) apiHandler(name string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		//lint:ignore nondeterminism -- request latency is wall-clock by definition; it feeds the Runtime metrics half only
@@ -160,6 +165,17 @@ func (s *Server) apiHandler(name string) http.HandlerFunc {
 				body, status = snap.respond(name, r.URL.Query(), sm)
 				w.Header().Set("Content-Type", "application/json")
 				w.Header().Set("X-Dataset-Version", snap.Version())
+				if status == http.StatusOK {
+					if tag := ETagFor(snap.Version(), name, r.URL.Query()); tag != "" {
+						w.Header().Set("ETag", tag)
+						if etagMatch(r.Header.Get("If-None-Match"), tag) {
+							status = http.StatusNotModified
+							sm.RecordNotModified()
+							w.WriteHeader(status)
+							return
+						}
+					}
+				}
 				w.WriteHeader(status)
 				w.Write(body)
 			})

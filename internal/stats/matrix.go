@@ -34,20 +34,24 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns m · b.
+// Mul returns m · b. The i-k-j loop order walks b and out along
+// their rows; hoisting both row slices out of the inner loop keeps
+// the accesses sequential and bounds-check-free.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return nil, fmt.Errorf("stats: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
 	for i := 0; i < m.Rows; i++ {
-		for k := 0; k < m.Cols; k++ {
-			v := m.At(i, k)
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for k, v := range mrow {
 			if v == 0 {
 				continue
 			}
-			for j := 0; j < b.Cols; j++ {
-				out.Data[i*out.Cols+j] += v * b.At(k, j)
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += v * bv
 			}
 		}
 	}

@@ -190,6 +190,13 @@ type OLSResult struct {
 
 // OLS fits y = α + Xβ by ordinary least squares. X is observations ×
 // predictors; names labels the predictors.
+//
+// The solve runs on the normal equations: G = [1 X]ᵀ[1 X] is SPD for
+// a full-rank design, so a single in-place Cholesky factorization
+// yields β by triangular substitution and the standard errors from
+// the diagonal of G⁻¹ — no design matrix, no transpose, no
+// Gauss–Jordan inverse. A rank-deficient design reports ErrSingular,
+// as the inverse-based path did.
 func OLS(y []float64, X *Matrix, names []string) (*OLSResult, error) {
 	n := len(y)
 	if X.Rows != n {
@@ -199,41 +206,29 @@ func OLS(y []float64, X *Matrix, names []string) (*OLSResult, error) {
 	if n <= k {
 		return nil, ErrTooFewObservations
 	}
-	// Design matrix with intercept column.
-	d := NewMatrix(n, k)
-	for i := 0; i < n; i++ {
-		d.Set(i, 0, 1)
-		for j := 0; j < X.Cols; j++ {
-			d.Set(i, j+1, X.At(i, j))
-		}
-	}
-	dt := d.T()
-	xtx, err := dt.Mul(d)
-	if err != nil {
+	// One scratch block: Gram (k×k), β (solved in place over [1 X]ᵀy),
+	// G⁻¹ diagonal, and a substitution column.
+	buf := make([]float64, k*k+3*k)
+	g := buf[:k*k]
+	beta := buf[k*k : k*k+k]
+	gdiag := buf[k*k+k : k*k+2*k]
+	col := buf[k*k+2*k:]
+	normalEquations(y, X, g, beta)
+	if err := cholesky(g, k); err != nil {
 		return nil, err
 	}
-	inv, err := xtx.Inverse()
-	if err != nil {
-		return nil, err
-	}
-	xty, err := dt.MulVec(y)
-	if err != nil {
-		return nil, err
-	}
-	beta, err := inv.MulVec(xty)
-	if err != nil {
-		return nil, err
-	}
+	choleskySolve(g, k, beta)
+	choleskyInvDiag(g, k, gdiag, col)
 
-	// Residuals and fit quality.
+	// Residuals and fit quality, fitted values straight from X's rows.
 	var rss, tss float64
 	ybar := Mean(y)
-	fitted, err := d.MulVec(beta)
-	if err != nil {
-		return nil, err
-	}
 	for i := 0; i < n; i++ {
-		e := y[i] - fitted[i]
+		f := beta[0]
+		for j, xj := range X.Data[i*X.Cols : (i+1)*X.Cols] {
+			f += beta[j+1] * xj
+		}
+		e := y[i] - f
 		rss += e * e
 		t := y[i] - ybar
 		tss += t * t
@@ -242,10 +237,15 @@ func OLS(y []float64, X *Matrix, names []string) (*OLSResult, error) {
 	sigma2 := rss / float64(df)
 
 	res := &OLSResult{
-		Names: append([]string{"(intercept)"}, names...),
-		Coef:  beta,
-		N:     n,
-		DF:    df,
+		Names:  append(append(make([]string, 0, k), "(intercept)"), names...),
+		Coef:   beta,
+		StdErr: make([]float64, 0, k),
+		CILow:  make([]float64, 0, k),
+		CIHigh: make([]float64, 0, k),
+		TStat:  make([]float64, 0, k),
+		PValue: make([]float64, 0, k),
+		N:      n,
+		DF:     df,
 	}
 	if tss > 0 {
 		res.R2 = 1 - rss/tss
@@ -253,7 +253,7 @@ func OLS(y []float64, X *Matrix, names []string) (*OLSResult, error) {
 	}
 	tcrit := tCritical95(df)
 	for j := 0; j < k; j++ {
-		se := math.Sqrt(sigma2 * inv.At(j, j))
+		se := math.Sqrt(sigma2 * gdiag[j])
 		res.StdErr = append(res.StdErr, se)
 		var t float64
 		if se > 0 {
@@ -269,7 +269,59 @@ func OLS(y []float64, X *Matrix, names []string) (*OLSResult, error) {
 
 // VIF computes the variance inflation factor of each column of X by
 // regressing it on the remaining columns (Table 7).
+//
+// One Cholesky factorization of the full augmented Gram serves every
+// per-column regression: by the partitioned-inverse identity,
+// (G⁻¹)_{j+1,j+1} = 1/RSS_j for the regression of column j on the
+// intercept and the remaining columns, so VIF_j = 1/(1-R²_j) =
+// TSS_j · (G⁻¹)_{j+1,j+1} with TSS_j the centered sum of squares of
+// column j. A singular Gram — exactly collinear or constant columns —
+// falls back to the explicit per-column loop, preserving the
+// historical edge-case semantics (errors, +Inf, VIF 1 for constant
+// columns).
 func VIF(X *Matrix) ([]float64, error) {
+	if X.Cols >= 1 && X.Rows > X.Cols+1 {
+		if out, ok := vifShared(X); ok {
+			return out, nil
+		}
+	}
+	return vifPerColumn(X)
+}
+
+// vifShared is the fast path: all VIFs from one factorization of the
+// augmented Gram. It declines (ok=false) when the Gram is singular.
+func vifShared(X *Matrix) ([]float64, bool) {
+	n, k := X.Rows, X.Cols+1
+	buf := make([]float64, k*k+2*k)
+	g := buf[:k*k]
+	diag := buf[k*k : k*k+k]
+	col := buf[k*k+k:]
+	normalEquations(nil, X, g, nil)
+	if err := cholesky(g, k); err != nil {
+		return nil, false
+	}
+	choleskyInvDiag(g, k, diag, col)
+	out := make([]float64, X.Cols)
+	for j := 0; j < X.Cols; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += X.At(i, j)
+		}
+		mean := sum / float64(n)
+		var tss float64
+		for i := 0; i < n; i++ {
+			d := X.At(i, j) - mean
+			tss += d * d
+		}
+		out[j] = tss * diag[j+1]
+	}
+	return out, true
+}
+
+// vifPerColumn is the pre-shared-decomposition loop: regress each
+// column on the others with a fresh OLS. Kept as the fallback for
+// degenerate designs.
+func vifPerColumn(X *Matrix) ([]float64, error) {
 	out := make([]float64, X.Cols)
 	for j := 0; j < X.Cols; j++ {
 		y := make([]float64, X.Rows)

@@ -58,6 +58,48 @@ func TestReportsByteIdenticalAcrossConcurrencyShapes(t *testing.T) {
 	}
 }
 
+// TestReportsByteIdenticalAcrossAnalysisWorkers sweeps the parallel
+// index build over a chaos-degraded partial dataset: the same
+// aggressive-fault study rendered with the analysis scan split across
+// 1, 2 and 8 workers must produce byte-identical report text for
+// every index-derived experiment. Faults leave rows with missing
+// registration/location fields and whole failed countries, so this is
+// the degraded-shape counterpart of the in-package worker-sweep test.
+func TestReportsByteIdenticalAcrossAnalysisWorkers(t *testing.T) {
+	base := Config{Scale: 0.03, Seed: 11,
+		Countries:       []string{"US", "MX", "UY", "FR", "JP", "NG", "DE"},
+		MaxURLsPerCrawl: 30,
+		FaultProfile:    "aggressive",
+	}
+	type rendered map[string]string
+	render := func(workers int) rendered {
+		cfg := base
+		cfg.AnalysisWorkers = workers
+		s, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := rendered{}
+		for _, e := range Experiments() {
+			if e.ID == "metrics" {
+				continue
+			}
+			out[e.ID] = s.Report(e.ID)
+		}
+		return out
+	}
+	ref := render(1)
+	for _, workers := range []int{2, 8} {
+		got := render(workers)
+		for id, want := range ref {
+			if got[id] != want {
+				t.Errorf("report %q differs between 1 and %d analysis workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+					id, workers, clip(want), workers, clip(got[id]))
+			}
+		}
+	}
+}
+
 // clip bounds a report body for failure output.
 func clip(s string) string {
 	if len(s) > 2000 {

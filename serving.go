@@ -9,9 +9,11 @@ import (
 )
 
 // NewServeSnapshot freezes a completed study into a serving snapshot
-// for the govserve daemon.
+// for the govserve daemon. The study's AnalysisWorkers knob shapes
+// how many goroutines the index build uses; the snapshot bytes are
+// identical at any setting.
 func NewServeSnapshot(st *Study, desc string) (*serve.Snapshot, error) {
-	return serve.NewSnapshot(st.ds, desc)
+	return serve.NewSnapshotWorkers(st.ds, desc, st.cfg.AnalysisWorkers)
 }
 
 // ServeSnapshotFromJSONL loads an exported study file into a serving
@@ -19,6 +21,15 @@ func NewServeSnapshot(st *Study, desc string) (*serve.Snapshot, error) {
 // canonical export bytes, so a client holding the same file computes
 // the same version the daemon will claim.
 func ServeSnapshotFromJSONL(path string) (*serve.Snapshot, error) {
+	return ServeSnapshotFromJSONLWorkers(path, 0)
+}
+
+// ServeSnapshotFromJSONLWorkers is ServeSnapshotFromJSONL with an
+// explicit index-build worker count (0 picks the default of 8). Any
+// value yields byte-identical snapshots; the knob trades only the
+// build's wall-clock time, which is the critical path of daemon
+// startup and /admin/reload.
+func ServeSnapshotFromJSONLWorkers(path string, workers int) (*serve.Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("govhost: %w", err)
@@ -28,7 +39,7 @@ func ServeSnapshotFromJSONL(path string) (*serve.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve.NewSnapshot(st.ds, "jsonl:"+path)
+	return serve.NewSnapshotWorkers(st.ds, "jsonl:"+path, workers)
 }
 
 // ServeSnapshotFromCheckpoint resumes cfg's study from its checkpoint
@@ -41,7 +52,7 @@ func ServeSnapshotFromCheckpoint(ctx context.Context, cfg Config) (*serve.Snapsh
 	if err != nil {
 		return nil, err
 	}
-	return serve.NewSnapshot(st.ds, "checkpoint:"+cfg.CheckpointDir)
+	return serve.NewSnapshotWorkers(st.ds, "checkpoint:"+cfg.CheckpointDir, cfg.AnalysisWorkers)
 }
 
 // ServeReloader wires the daemon's /admin/reload (and SIGHUP) to the
@@ -51,7 +62,7 @@ func ServeReloader(cfg Config) serve.ReloadFunc {
 	return func(ctx context.Context, src serve.Source) (*serve.Snapshot, error) {
 		switch src.Kind {
 		case "jsonl":
-			return ServeSnapshotFromJSONL(src.Path)
+			return ServeSnapshotFromJSONLWorkers(src.Path, cfg.AnalysisWorkers)
 		case "checkpoint":
 			c := cfg
 			c.CheckpointDir = src.Path
